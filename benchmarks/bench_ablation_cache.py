@@ -1,0 +1,7 @@
+"""Ablation A6: iperf's small-buffer cache effect (§2.3)."""
+
+from repro.core.experiments import ablation_cache
+
+
+def test_ablation_cache(run_experiment):
+    run_experiment(ablation_cache, "ablation_cache")

@@ -1,0 +1,7 @@
+"""Ablation A8 (extension): RFTP credit sweep on the high-BDP WAN."""
+
+from repro.core.experiments import ablation_credits
+
+
+def test_ablation_credits(run_experiment):
+    run_experiment(ablation_credits, "ablation_credits")

@@ -1,0 +1,7 @@
+"""Ablation A3: raw vs ext4 vs XFS over iSER (§4.3)."""
+
+from repro.core.experiments import ablation_fs
+
+
+def test_ablation_fs(run_experiment):
+    run_experiment(ablation_fs, "ablation_fs")

@@ -1,0 +1,8 @@
+"""Ablation A10 (extension): GridFTP mover-count sweep — bandwidth bought
+with CPU, never reaching RFTP."""
+
+from repro.core.experiments import ablation_gridftp_procs
+
+
+def test_ablation_gridftp_procs(run_experiment):
+    run_experiment(ablation_gridftp_procs, "ablation_gridftp_procs")

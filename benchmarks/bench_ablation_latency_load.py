@@ -1,0 +1,8 @@
+"""Ablation A11 (extension): I/O latency vs offered load at the target
+(queueing once the worker pool saturates)."""
+
+from repro.core.experiments import ablation_latency_load
+
+
+def test_ablation_latency_load(run_experiment):
+    run_experiment(ablation_latency_load, "ablation_latency_load")

@@ -1,0 +1,7 @@
+"""Ablation A5: LUN count sweep; multiple LUNs unlock both IB links (§4.1)."""
+
+from repro.core.experiments import ablation_luns
+
+
+def test_ablation_luns(run_experiment):
+    run_experiment(ablation_luns, "ablation_luns")

@@ -1,0 +1,7 @@
+"""Ablation A7 (extension): MTU 1500 vs 9000 — TCP pays per-packet, RDMA only framing."""
+
+from repro.core.experiments import ablation_mtu
+
+
+def test_ablation_mtu(run_experiment):
+    run_experiment(ablation_mtu, "ablation_mtu")

@@ -1,0 +1,7 @@
+"""Ablation A4: RDMA WRITE vs RDMA READ throughput (~7.5% gap, §4.2)."""
+
+from repro.core.experiments import ablation_rdma_ops
+
+
+def test_ablation_rdma_ops(run_experiment):
+    run_experiment(ablation_rdma_ops, "ablation_rdma_ops")

@@ -1,0 +1,7 @@
+"""Ablation A1: SSD thermal throttling to ~500 MB/s vs steady tmpfs (§4.1)."""
+
+from repro.core.experiments import ablation_ssd
+
+
+def test_ablation_ssd(run_experiment):
+    run_experiment(ablation_ssd, "ablation_ssd")

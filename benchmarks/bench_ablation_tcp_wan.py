@@ -1,0 +1,7 @@
+"""Ablation A9 (extension): cubic TCP vs RFTP on the 95 ms ANI loop."""
+
+from repro.core.experiments import ablation_tcp_wan
+
+
+def test_ablation_tcp_wan(run_experiment):
+    run_experiment(ablation_tcp_wan, "ablation_tcp_wan")

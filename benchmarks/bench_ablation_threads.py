@@ -1,0 +1,7 @@
+"""Ablation A2: fio threads per LUN; the paper's optimum is 4 (§4.2)."""
+
+from repro.core.experiments import ablation_threads
+
+
+def test_ablation_threads(run_experiment):
+    run_experiment(ablation_threads, "ablation_threads")

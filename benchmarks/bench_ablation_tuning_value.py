@@ -1,0 +1,8 @@
+"""Ablation A12 (extension): composed value of NUMA tuning end to end —
+the untuned penalty lives entirely in the target's copy path."""
+
+from repro.core.experiments import ablation_tuning_value
+
+
+def test_ablation_tuning_value(run_experiment):
+    run_experiment(ablation_tuning_value, "ablation_tuning_value")

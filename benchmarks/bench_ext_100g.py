@@ -1,0 +1,8 @@
+"""Extension E4: the 100 GbE upgrade path — front-end alone buys nothing;
+the SAN must grow with it (the paper's holistic thesis quantified)."""
+
+from repro.core.experiments import ext_100g
+
+
+def test_ext_100g(run_experiment):
+    run_experiment(ext_100g, "ext_100g")

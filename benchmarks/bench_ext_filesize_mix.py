@@ -1,0 +1,7 @@
+"""Extension E3: the lots-of-small-files penalty and what pipelining buys."""
+
+from repro.core.experiments import ext_filesize_mix
+
+
+def test_ext_filesize_mix(run_experiment):
+    run_experiment(ext_filesize_mix, "ext_filesize_mix")

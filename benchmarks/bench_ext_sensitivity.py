@@ -1,0 +1,8 @@
+"""Extension E2: calibration sensitivity — the paper's shapes must
+survive ±20% perturbation of every calibrated constant."""
+
+from repro.core.experiments import ext_sensitivity
+
+
+def test_ext_sensitivity(run_experiment):
+    run_experiment(ext_sensitivity, "ext_sensitivity")

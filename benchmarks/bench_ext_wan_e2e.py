@@ -1,0 +1,8 @@
+"""Extension E1: storage-to-storage RFTP over the 95 ms WAN — validates
+the paper's §4.4 deployment claim the authors could not test."""
+
+from repro.core.experiments import ext_wan_e2e
+
+
+def test_ext_wan_e2e(run_experiment):
+    run_experiment(ext_wan_e2e, "ext_wan_e2e")

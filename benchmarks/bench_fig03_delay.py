@@ -1,0 +1,8 @@
+"""Fig. 3 (quantified): per-block delay breakdown — load / transmit /
+offload stage rates and RFTP's pipelining speedup."""
+
+from repro.core.experiments import exp_fig03_delay
+
+
+def test_fig03(run_experiment):
+    run_experiment(exp_fig03_delay, "fig03")

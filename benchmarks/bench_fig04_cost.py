@@ -1,0 +1,8 @@
+"""Fig. 4: CPU cost breakdown of RFTP (RDMA) vs iperf (TCP) at ~39 Gbps
+(paper: 122% vs 642% total CPU; copies 0% vs 213%)."""
+
+from repro.core.experiments import exp_fig04_cost
+
+
+def test_fig04(run_experiment):
+    run_experiment(exp_fig04_cost, "fig04")

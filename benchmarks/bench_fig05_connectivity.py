@@ -1,0 +1,7 @@
+"""Figs. 5 & 6: testbed connectivity — every edge of the wiring diagrams."""
+
+from repro.core.experiments import exp_fig05_connectivity
+
+
+def test_fig05(run_experiment):
+    run_experiment(exp_fig05_connectivity, "fig05")

@@ -1,0 +1,8 @@
+"""Fig. 8: iSER target CPU, default vs NUMA-tuned
+(paper: default writes cost ~3x the CPU)."""
+
+from repro.core.experiments import exp_fig08_iser_cpu
+
+
+def test_fig08(run_experiment):
+    run_experiment(exp_fig08_iser_cpu, "fig08")

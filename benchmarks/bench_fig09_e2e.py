@@ -1,0 +1,8 @@
+"""Fig. 9: end-to-end throughput, RFTP vs GridFTP over 3x40G + iSER SANs
+(paper: 91 vs 29 Gbps; fio ceiling 94.8)."""
+
+from repro.core.experiments import exp_fig09_e2e
+
+
+def test_fig09(run_experiment):
+    run_experiment(exp_fig09_e2e, "fig09")

@@ -1,0 +1,8 @@
+"""Fig. 10: end-to-end CPU breakdown, RFTP vs GridFTP
+(paper: GridFTP sys-dominated, RFTP user-dominated and far cheaper per Gbps)."""
+
+from repro.core.experiments import exp_fig10_e2e_cpu
+
+
+def test_fig10(run_experiment):
+    run_experiment(exp_fig10_e2e_cpu, "fig10")

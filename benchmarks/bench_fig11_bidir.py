@@ -1,0 +1,8 @@
+"""Fig. 11: bi-directional end-to-end throughput
+(paper: RFTP +83%, GridFTP +33% over unidirectional)."""
+
+from repro.core.experiments import exp_fig11_bidir
+
+
+def test_fig11(run_experiment):
+    run_experiment(exp_fig11_bidir, "fig11")

@@ -1,0 +1,8 @@
+"""Fig. 12: bi-directional CPU breakdown
+(paper: GridFTP CPU ~doubles for +33% throughput)."""
+
+from repro.core.experiments import exp_fig12_bidir_cpu
+
+
+def test_fig12(run_experiment):
+    run_experiment(exp_fig12_bidir_cpu, "fig12")

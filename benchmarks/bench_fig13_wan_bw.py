@@ -1,0 +1,8 @@
+"""Fig. 13: RFTP bandwidth over the 40G/95ms ANI WAN, block size x streams
+(paper: 97% of raw at large blocks; credit-limited at small)."""
+
+from repro.core.experiments import exp_fig13_wan_bw
+
+
+def test_fig13(run_experiment):
+    run_experiment(exp_fig13_wan_bw, "fig13")

@@ -1,0 +1,8 @@
+"""Fig. 14: RFTP WAN CPU for sender (a) and receiver (b)
+(paper: per-byte CPU falls as block size grows)."""
+
+from repro.core.experiments import exp_fig14_wan_cpu
+
+
+def test_fig14(run_experiment):
+    run_experiment(exp_fig14_wan_cpu, "fig14")

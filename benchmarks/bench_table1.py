@@ -1,0 +1,7 @@
+"""Table 1: testbed host configuration consistency check."""
+
+from repro.core.experiments import exp_table1
+
+
+def test_table1(run_experiment):
+    run_experiment(exp_table1, "table1")

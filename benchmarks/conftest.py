@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Each benchmark runs one experiment module (the same code the tests
+assert on), records its wall time via pytest-benchmark, writes the
+rendered paper-vs-measured report to ``benchmarks/results/`` and prints
+it (visible with ``pytest -s`` or in the saved files).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def run_experiment(benchmark, results_dir):
+    """Benchmark an experiment module and persist its report."""
+
+    def _run(module, name: str, quick: bool | None = None):
+        if quick is None:
+            quick = os.environ.get("REPRO_FULL", "") != "1"
+        report = benchmark.pedantic(
+            module.run, kwargs={"quick": quick}, rounds=1, iterations=1
+        )
+        text = report.render()
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+        assert report.checks, f"{name} produced no checks"
+        failed = [c for c in report.checks if c.ok is False]
+        assert not failed, "diverging checks: " + ", ".join(
+            c.metric for c in failed
+        )
+        return report
+
+    return _run

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Scenario: why NUMA tuning helps writes 2.5x more than reads.
+
+The paper's most subtle result (Figs. 7/8) is an *asymmetry*: binding the
+iSER target processes to NUMA nodes gains +19% on writes but only +7.6%
+on reads.  The explanation is cache coherence: a write invalidates every
+other cached copy of the line; a read just shares it.
+
+This example shows the effect at both modelling scales:
+
+1. **cache-line level** — drive the MESI state machine with the two
+   access patterns the target exhibits (single-node vs scattered
+   workers) and count the coherence events;
+2. **system level** — run the Fig. 7 fio workload in both tuning
+   regimes and report the bandwidth/CPU gains those events produce.
+
+Run:  python examples/numa_effects.py
+"""
+
+from repro.apps.fio import FioJob, run_fio
+from repro.core.tuning import TuningPolicy
+from repro.hw import MesiCache, backend_lan_host, frontend_lan_host
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.storage import IserInitiator, IserTarget
+from repro.util.tables import Table
+from repro.util.units import GB, MIB, to_gbps
+
+
+def line_level() -> None:
+    print("1. Cache-line level: 10,000 accesses to 1,000 hot lines")
+    print("   (agents = NUMA nodes; 'scattered' = default scheduling,")
+    print("    'pinned' = one node owns each line)\n")
+    table = Table(["pattern", "op", "invalidations", "remote fetches"])
+    for pattern in ("pinned", "scattered"):
+        for op in ("read", "write"):
+            cache = MesiCache(n_agents=2)
+            for i in range(10_000):
+                line = i % 999
+                if pattern == "pinned":
+                    agent = 0  # one owning node serves every request
+                else:
+                    agent = i % 2  # requests land on both nodes
+                if op == "read":
+                    cache.read(line, agent)
+                else:
+                    cache.write(line, agent)
+            table.add_row([pattern, op, cache.stats["invalidations"],
+                           cache.stats["remote_fetches"]])
+    print(table.render())
+    print("\n   -> scattered WRITES generate thousands of invalidations;")
+    print("      scattered READS settle into harmless Shared state.\n")
+
+
+def system_level() -> None:
+    print("2. System level: the Fig. 7 fio workload, default vs NUMA-tuned\n")
+    table = Table(["rw", "default Gbps", "tuned Gbps", "gain",
+                   "default CPU%", "tuned CPU%"])
+    for rw in ("read", "write"):
+        rates, cpus = {}, {}
+        for tuning in ("default", "numa"):
+            ctx = Context.create(seed=3)
+            front = frontend_lan_host(ctx, "front", with_ib=True)
+            back = backend_lan_host(ctx, "back")
+            wire_san(ctx, front, back)
+            target = IserTarget(ctx, back, tuning=tuning, n_links=2)
+            for _ in range(6):
+                target.create_lun(2 * GB)
+            initiator = IserInitiator(ctx, front, target)
+            ctx.sim.run(until=initiator.login_all())
+            devices = [initiator.devices[i]
+                       for i in sorted(initiator.devices)]
+            res = run_fio(ctx, front, devices,
+                          FioJob(rw=rw, block_size=4 * MIB, runtime=15.0))
+            rates[tuning] = res.bandwidth
+            cpus[tuning] = 100 * target.accounting().total_seconds / 15.0
+        table.add_row([
+            rw,
+            round(to_gbps(rates["default"]), 1),
+            round(to_gbps(rates["numa"]), 1),
+            f"{rates['numa'] / rates['default']:.3f}x",
+            round(cpus["default"]),
+            round(cpus["numa"]),
+        ])
+    print(table.render())
+    print("\n   -> writes gain ~2.5x more bandwidth from tuning than reads,")
+    print("      and untuned writes burn ~3x the CPU (paper: +19%/+7.6%, 3x).")
+
+
+def main() -> None:
+    line_level()
+    system_level()
+
+
+if __name__ == "__main__":
+    main()

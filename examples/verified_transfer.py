@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Scenario: a verified file transfer through the full protocol stack.
+
+Unlike the sustained-throughput runs, this example moves *real bytes*:
+a file is created on the source host's filesystem, transferred block by
+block through RFTP's actual control framing (FileRequest /
+BlockDescriptor / CreditGrant / TransferComplete), carried by simulated
+RDMA WRITE work requests with rkey protection, checksummed per block,
+and digest-verified end to end at the sink.
+
+This is the correctness story behind the performance numbers: the same
+protocol machinery the fluid engine models is exercised byte-exactly.
+
+Run:  python examples/verified_transfer.py
+"""
+
+import numpy as np
+
+from repro.apps.rftp import rftp_send_file
+from repro.datapath.integrity import StreamingDigest
+from repro.fs import O_RDONLY, O_RDWR, XfsFileSystem
+from repro.hw import Machine, Nic, NicKind
+from repro.kernel import NumaPolicy, place_region
+from repro.net.link import connect
+from repro.sim.context import Context
+from repro.storage import RamDisk
+from repro.util.units import MIB, fmt_bytes, fmt_rate, fmt_seconds
+
+
+def main() -> None:
+    ctx = Context.create(seed=0)
+
+    # two hosts, one 40 Gbps RoCE link
+    src_host = Machine(ctx, "src-host", pcie_sockets=(0,))
+    dst_host = Machine(ctx, "dst-host", pcie_sockets=(0,))
+    src_nic = Nic(src_host, src_host.pcie_slots[0], NicKind.ROCE_QDR)
+    dst_nic = Nic(dst_host, dst_host.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(src_nic, dst_nic)
+
+    # a filesystem on each side (RAM disks that really store bytes)
+    src_fs = XfsFileSystem(
+        ctx, RamDisk(ctx, "src-disk",
+                     place_region(64 * MIB, NumaPolicy.bind(0), 2),
+                     store_data=True))
+    dst_fs = XfsFileSystem(
+        ctx, RamDisk(ctx, "dst-disk",
+                     place_region(64 * MIB, NumaPolicy.bind(0), 2),
+                     store_data=True))
+
+    # create a 24 MiB file of pseudo-random bytes
+    size = 24 * MIB + 4321  # unaligned tail on purpose
+    rng = np.random.default_rng(7)
+    payload = rng.integers(0, 256, size).astype(np.uint8)
+    src_fs.create("dataset.h5", size)
+    ctx.sim.run(until=src_fs.open("dataset.h5", O_RDWR).write(payload))
+    expected = StreamingDigest().update(payload).hexdigest()
+    print(f"source file: {fmt_bytes(size)}, blake2b={expected[:16]}...")
+
+    # transfer it
+    t0 = ctx.sim.now
+    done = rftp_send_file(
+        ctx,
+        source_fs=src_fs, sink_fs=dst_fs,
+        src_path="dataset.h5", dst_path="dataset.h5",
+        client_nic=src_nic, server_nic=dst_nic,
+        block_size=2 * MIB, credits=8,
+    )
+    digest = ctx.sim.run(until=done)
+    elapsed = ctx.sim.now - t0
+    print(f"transferred in {fmt_seconds(elapsed)} simulated "
+          f"({fmt_rate(size / elapsed)})")
+    print(f"sink digest:  blake2b={digest[:16]}... "
+          f"{'VERIFIED' if digest == expected else 'MISMATCH!'}")
+
+    # belt and braces: read the sink file back and compare every byte
+    out = np.zeros(size, dtype=np.uint8)
+    ctx.sim.run(until=dst_fs.open("dataset.h5", O_RDONLY).read(size, data=out))
+    identical = bool(np.array_equal(out, payload))
+    print(f"byte-for-byte comparison: "
+          f"{'identical' if identical else 'DIFFERENT'}")
+    assert digest == expected and identical
+
+
+if __name__ == "__main__":
+    main()

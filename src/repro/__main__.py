@@ -1,0 +1,104 @@
+"""Command-line interface: run experiments and build the reproduction ledger.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro run fig09            # run one experiment, print report
+    python -m repro run all              # run everything
+    python -m repro report [-o FILE]     # regenerate EXPERIMENTS.md
+    python -m repro run fig09 --full     # paper-scale durations
+
+Exit status is non-zero if any paper-anchored check diverges.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.core import experiments as E
+from repro.core.reportgen import generate_experiments_md
+
+
+def _all_modules():
+    out = dict(E.ALL_FIGURES)
+    out.update({f"ablation-{k}": v for k, v in E.ALL_ABLATIONS.items()})
+    out.update({f"ext-{k}": v for k, v in E.ALL_EXTENSIONS.items()})
+    return out
+
+
+def cmd_list(_args) -> int:
+    """List the available experiments."""
+    mods = _all_modules()
+    width = max(len(k) for k in mods)
+    for name, module in mods.items():
+        doc = (module.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:<{width}}  {doc}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    """Run one experiment (or all) and print its report."""
+    mods = _all_modules()
+    names = list(mods) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in mods]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(mods)}", file=sys.stderr)
+        return 2
+    failures = 0
+    for name in names:
+        t0 = time.time()
+        report = mods[name].run(quick=not args.full, seed=args.seed)
+        print(report.render())
+        print(f"\n[{name} finished in {time.time() - t0:.1f}s wall]\n")
+        if not report.all_ok:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) diverged from the paper",
+              file=sys.stderr)
+    return 1 if failures else 0
+
+
+def cmd_report(args) -> int:
+    """Regenerate the EXPERIMENTS.md ledger."""
+    text = generate_experiments_md(quick=not args.full, seed=args.seed,
+                                   verbose=True)
+    with open(args.output, "w") as fh:
+        fh.write(text)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NUMA-aware RDMA end-to-end transfer systems (SC'13) "
+        "reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="enumerate experiments").set_defaults(
+        fn=cmd_list)
+
+    p_run = sub.add_parser("run", help="run one experiment (or 'all')")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--full", action="store_true",
+                       help="paper-scale durations (minutes of simulated time)")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
+    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument("--seed", type=int, default=0)
+    p_rep.set_defaults(fn=cmd_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""RFTP: the RDMA-based file transfer protocol (Ren et al.).
+
+RFTP (refs [21-23] of the paper) moves files with one-sided RDMA,
+credit-based flow control, pipelined load -> transmit -> offload stages
+and parallel streams over multiple adapters.  This package provides:
+
+* :mod:`repro.apps.rftp.protocol` — the control-message wire format
+  (block descriptors, credit grants, completion notices),
+* :mod:`repro.apps.rftp.transfer` — the sustained fluid transfer engine
+  used for the minutes-long 100 Gbps runs of Figs. 9-14,
+* :mod:`repro.apps.rftp.filetransfer` — event-level transfer of real
+  bytes with checksum verification (correctness path).
+"""
+
+from repro.apps.rftp.client import RftpClient
+from repro.apps.rftp.filetransfer import rftp_send_file
+from repro.apps.rftp.server import RftpServer, TransferRecord
+from repro.apps.rftp.protocol import (
+    BlockDescriptor,
+    CreditGrant,
+    FileRequest,
+    TransferComplete,
+    decode_message,
+)
+from repro.apps.rftp.transfer import RftpConfig, RftpResult, RftpTransfer
+
+__all__ = [
+    "BlockDescriptor",
+    "CreditGrant",
+    "FileRequest",
+    "TransferComplete",
+    "decode_message",
+    "RftpConfig",
+    "RftpResult",
+    "RftpTransfer",
+    "rftp_send_file",
+    "RftpClient",
+    "RftpServer",
+    "TransferRecord",
+]

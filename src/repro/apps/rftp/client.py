@@ -1,0 +1,141 @@
+"""RFTP client: put/get of files and directories against a server.
+
+Wraps the event-level verified transfer in a session API:
+
+* :meth:`RftpClient.put` — push one file (skips files the server's
+  manifest already records: resume semantics);
+* :meth:`RftpClient.put_tree` — push every file of the source
+  filesystem, resuming across interruptions;
+* :meth:`RftpClient.get` — pull a file the server holds.
+
+All methods return events; run the simulator until them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps.rftp.filetransfer import rftp_send_file
+from repro.apps.rftp.server import RftpServer, TransferRecord
+from repro.fs.vfs import FileSystem
+from repro.hw.nic import Nic
+from repro.sim.context import Context
+from repro.sim.engine import Event
+
+__all__ = ["RftpClient"]
+
+
+class RftpClient:
+    """One client host's RFTP session toward a server."""
+
+    def __init__(self, ctx: Context, nic: Nic, source_fs: FileSystem,
+                 server: RftpServer, block_size: int = 1 << 20,
+                 credits: int = 8, name: str = "rftp-client"):
+        if nic.link is None or nic.link.peer(nic) is not server.nic:
+            raise ValueError(
+                f"client NIC {nic.name!r} is not cabled to the server's "
+                f"{server.nic.name!r}"
+            )
+        self.ctx = ctx
+        self.nic = nic
+        self.source_fs = source_fs
+        self.server = server
+        self.block_size = block_size
+        self.credits = credits
+        self.name = name
+
+    # -- single file -------------------------------------------------------------
+    def put(self, path: str, dst_path: Optional[str] = None) -> Event:
+        """Push one file; the event yields the server's TransferRecord.
+
+        If the server's manifest already holds a complete copy, the
+        transfer is skipped (the event fires with the existing record).
+        """
+        if not self.server.accepting:
+            raise ConnectionRefusedError(
+                f"server {self.server.name!r} is not accepting sessions"
+            )
+        dst = dst_path or path
+        size = self.source_fs.stat_size(path)
+        done = self.ctx.sim.event(name=f"{self.name}/put:{path}")
+
+        if self.server.has_complete(dst, size):
+            existing = self.server.manifest[dst]
+
+            def skip():
+                yield self.ctx.sim.timeout(self.nic.link.rtt)  # manifest check
+                done.succeed(existing)
+
+            self.ctx.sim.process(skip(), name=f"{self.name}/skip")
+            return done
+
+        inner = rftp_send_file(
+            self.ctx,
+            source_fs=self.source_fs,
+            sink_fs=self.server.sink_fs,
+            src_path=path,
+            dst_path=dst,
+            client_nic=self.nic,
+            server_nic=self.server.nic,
+            block_size=self.block_size,
+            credits=self.credits,
+        )
+
+        def finish():
+            try:
+                digest = yield inner
+            except BaseException as exc:  # noqa: BLE001 - surfaced via event
+                done.fail(exc)
+                return
+            done.succeed(self.server.record(dst, size, digest))
+
+        self.ctx.sim.process(finish(), name=f"{self.name}/put")
+        return done
+
+    # -- directory ----------------------------------------------------------------
+    def put_tree(self) -> Event:
+        """Push every file of the source filesystem, oldest name first.
+
+        Files already complete on the server are skipped, so re-running
+        after an interruption transfers only the remainder.  The event
+        yields the list of TransferRecords (one per file).
+        """
+        done = self.ctx.sim.event(name=f"{self.name}/put-tree")
+
+        def run():
+            records: List[TransferRecord] = []
+            for path in self.source_fs.listdir():
+                rec = yield self.put(path)
+                records.append(rec)
+            done.succeed(records)
+
+        self.ctx.sim.process(run(), name=f"{self.name}/put-tree")
+        return done
+
+    # -- pull ----------------------------------------------------------------------
+    def get(self, path: str, dst_path: Optional[str] = None) -> Event:
+        """Fetch a file the server holds into the client's filesystem."""
+        dst = dst_path or path
+        done = self.ctx.sim.event(name=f"{self.name}/get:{path}")
+        inner = rftp_send_file(
+            self.ctx,
+            source_fs=self.server.sink_fs,
+            sink_fs=self.source_fs,
+            src_path=path,
+            dst_path=dst,
+            client_nic=self.server.nic,
+            server_nic=self.nic,
+            block_size=self.block_size,
+            credits=self.credits,
+        )
+
+        def finish():
+            try:
+                digest = yield inner
+            except BaseException as exc:  # noqa: BLE001
+                done.fail(exc)
+                return
+            done.succeed(digest)
+
+        self.ctx.sim.process(finish(), name=f"{self.name}/get")
+        return done

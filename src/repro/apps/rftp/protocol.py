@@ -1,0 +1,179 @@
+"""RFTP control-message wire format.
+
+RFTP exchanges small control messages over a SEND/RECV channel while the
+payload moves by one-sided RDMA ("asynchronous control message
+exchanges", ref [23]).  Messages are fixed-layout structs with a one-byte
+type tag; property tests round-trip them.
+
+========  ======================  =======================================
+tag       message                 role
+========  ======================  =======================================
+``0x01``  :class:`FileRequest`     open a named file for transfer
+``0x02``  :class:`BlockDescriptor` advertise one block (offset, length,
+                                   rkey, checksum) ready for RDMA
+``0x03``  :class:`CreditGrant`     receiver grants N more outstanding
+                                   blocks (flow control)
+``0x04``  :class:`TransferComplete` sender signals EOF + whole-file digest
+========  ======================  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+__all__ = [
+    "FileRequest",
+    "BlockDescriptor",
+    "CreditGrant",
+    "TransferComplete",
+    "decode_message",
+    "RftpProtocolError",
+]
+
+
+class RftpProtocolError(ValueError):
+    """Malformed RFTP control message."""
+
+
+TAG_FILE_REQUEST = 0x01
+TAG_BLOCK_DESCRIPTOR = 0x02
+TAG_CREDIT_GRANT = 0x03
+TAG_TRANSFER_COMPLETE = 0x04
+
+_MAX_NAME = 255
+
+
+@dataclass(frozen=True)
+class FileRequest:
+    """Open *path* of *size* bytes for transfer in *block_size* chunks."""
+
+    path: str
+    size: int
+    block_size: int
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        name = self.path.encode("utf-8")
+        if not name or len(name) > _MAX_NAME:
+            raise RftpProtocolError(f"bad path length {len(name)}")
+        if self.size < 0 or self.block_size <= 0:
+            raise RftpProtocolError("size/block_size out of range")
+        return (
+            struct.pack(">BQQB", TAG_FILE_REQUEST, self.size, self.block_size,
+                        len(name))
+            + name
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "FileRequest":
+        """Parse the wire format (raises the typed protocol error on junk)."""
+        if len(raw) < 18 or raw[0] != TAG_FILE_REQUEST:
+            raise RftpProtocolError("not a FileRequest")
+        _, size, block_size, name_len = struct.unpack(">BQQB", raw[:18])
+        name = raw[18 : 18 + name_len]
+        if len(name) != name_len:
+            raise RftpProtocolError("truncated FileRequest name")
+        return cls(path=name.decode("utf-8"), size=size, block_size=block_size)
+
+
+@dataclass(frozen=True)
+class BlockDescriptor:
+    """One payload block ready for (or delivered by) one-sided RDMA."""
+
+    sequence: int
+    offset: int
+    length: int
+    rkey: int
+    crc32: int
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        if self.length <= 0:
+            raise RftpProtocolError("block length must be > 0")
+        return struct.pack(
+            ">BQQIQI",
+            TAG_BLOCK_DESCRIPTOR,
+            self.sequence,
+            self.offset,
+            self.length,
+            self.rkey,
+            self.crc32,
+        )
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "BlockDescriptor":
+        """Parse the wire format (raises the typed protocol error on junk)."""
+        if len(raw) < 33 or raw[0] != TAG_BLOCK_DESCRIPTOR:
+            raise RftpProtocolError("not a BlockDescriptor")
+        _, seq, offset, length, rkey, crc = struct.unpack(">BQQIQI", raw[:33])
+        if length == 0:
+            raise RftpProtocolError("zero-length block")
+        return cls(sequence=seq, offset=offset, length=length, rkey=rkey, crc32=crc)
+
+
+@dataclass(frozen=True)
+class CreditGrant:
+    """Receiver grants *credits* more outstanding blocks."""
+
+    credits: int
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        if not (0 < self.credits < 1 << 16):
+            raise RftpProtocolError(f"credits out of range: {self.credits}")
+        return struct.pack(">BH", TAG_CREDIT_GRANT, self.credits)
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CreditGrant":
+        """Parse the wire format (raises the typed protocol error on junk)."""
+        if len(raw) < 3 or raw[0] != TAG_CREDIT_GRANT:
+            raise RftpProtocolError("not a CreditGrant")
+        (_, credits) = struct.unpack(">BH", raw[:3])
+        if credits == 0:
+            raise RftpProtocolError("zero credit grant")
+        return cls(credits=credits)
+
+
+@dataclass(frozen=True)
+class TransferComplete:
+    """EOF notice with block count and whole-file digest."""
+
+    n_blocks: int
+    digest_hex: str  # 32-hex-char blake2b-128
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        try:
+            digest = bytes.fromhex(self.digest_hex)
+        except ValueError as exc:
+            raise RftpProtocolError(f"bad digest hex: {exc}") from exc
+        if len(digest) != 16:
+            raise RftpProtocolError("digest must be 16 bytes")
+        return struct.pack(">BQ", TAG_TRANSFER_COMPLETE, self.n_blocks) + digest
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "TransferComplete":
+        """Parse the wire format (raises the typed protocol error on junk)."""
+        if len(raw) < 25 or raw[0] != TAG_TRANSFER_COMPLETE:
+            raise RftpProtocolError("not a TransferComplete")
+        (_, n_blocks) = struct.unpack(">BQ", raw[:9])
+        return cls(n_blocks=n_blocks, digest_hex=raw[9:25].hex())
+
+
+_DECODERS = {
+    TAG_FILE_REQUEST: FileRequest.decode,
+    TAG_BLOCK_DESCRIPTOR: BlockDescriptor.decode,
+    TAG_CREDIT_GRANT: CreditGrant.decode,
+    TAG_TRANSFER_COMPLETE: TransferComplete.decode,
+}
+
+
+def decode_message(raw: bytes):
+    """Tag-dispatch decode of any RFTP control message."""
+    if not raw:
+        raise RftpProtocolError("empty message")
+    decoder = _DECODERS.get(raw[0])
+    if decoder is None:
+        raise RftpProtocolError(f"unknown message tag {raw[0]:#x}")
+    return decoder(raw)

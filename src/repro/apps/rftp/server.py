@@ -1,0 +1,61 @@
+"""RFTP server: a listener accepting transfer sessions.
+
+The event-level session layer above :mod:`repro.apps.rftp.filetransfer`:
+an :class:`RftpServer` listens on a host, accepts connections, exposes a
+sink filesystem, and records every completed transfer (path, bytes,
+digest) in a manifest — which is what allows clients to *resume*
+interrupted directory pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.fs.vfs import FileSystem
+from repro.hw.nic import Nic
+from repro.sim.context import Context
+
+__all__ = ["RftpServer", "TransferRecord"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed (verified) transfer."""
+
+    path: str
+    size: int
+    digest_hex: str
+    completed_at: float
+
+
+@dataclass
+class RftpServer:
+    """A running RFTP daemon on one host."""
+
+    ctx: Context
+    nic: Nic
+    sink_fs: FileSystem
+    name: str = "rftpd"
+    manifest: Dict[str, TransferRecord] = field(default_factory=dict)
+    accepting: bool = True
+
+    def record(self, path: str, size: int, digest_hex: str) -> TransferRecord:
+        """Append one entry."""
+        rec = TransferRecord(path=path, size=size, digest_hex=digest_hex,
+                             completed_at=self.ctx.sim.now)
+        self.manifest[path] = rec
+        return rec
+
+    def has_complete(self, path: str, size: int) -> bool:
+        """True if *path* was already fully received (resume support)."""
+        rec = self.manifest.get(path)
+        return rec is not None and rec.size == size
+
+    def completed(self) -> List[TransferRecord]:
+        """Completed entries in completion order."""
+        return sorted(self.manifest.values(), key=lambda r: r.completed_at)
+
+    def stop(self) -> None:
+        """Refuse new sessions (in-flight transfers finish)."""
+        self.accepting = False

@@ -1,0 +1,31 @@
+"""Core: calibration, the end-to-end system builder, tuning, experiments.
+
+This package hosts the paper's primary contribution — the composed,
+NUMA-tuned, RDMA-based end-to-end transfer system — plus the measurement
+and reporting machinery used by the benchmark harness.
+
+Submodules are imported lazily by callers (``repro.core.system`` etc.);
+only the always-cheap calibration surface is re-exported here to avoid
+import cycles during bottom-up construction.
+"""
+
+from repro.core.calibration import CALIBRATION, Calibration
+
+__all__ = ["Calibration", "CALIBRATION"]
+
+
+def __getattr__(name: str):
+    """Lazily expose the heavyweight composition layer."""
+    if name == "EndToEndSystem":
+        from repro.core.system import EndToEndSystem
+
+        return EndToEndSystem
+    if name == "TuningPolicy":
+        from repro.core.tuning import TuningPolicy
+
+        return TuningPolicy
+    if name in ("RunResult", "CpuBreakdown"):
+        from repro.core import metrics
+
+        return getattr(metrics, name)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")

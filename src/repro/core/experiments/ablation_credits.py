@@ -1,0 +1,73 @@
+"""Ablation A8 (extension): RFTP credit budget on the high-BDP WAN.
+
+Fig. 13's per-stream ceiling is ``credits x block / RTT``.  This ablation
+sweeps the credit budget at a fixed 4 MiB block on the 95 ms path and
+shows the linear region, the knee, and saturation at the link rate —
+the sizing rule an operator needs ("outstanding bytes must cover the
+bandwidth-delay product", here ~475 MB).
+"""
+
+from __future__ import annotations
+
+from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import wan_host
+from repro.net.topology import WAN_DELAY, wire_wan
+from repro.sim.context import Context
+from repro.util.units import MIB, to_gbps
+
+__all__ = ["run"]
+
+CREDITS = (2, 8, 32, 128, 512)
+BLOCK = 4 * MIB
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 20.0 if quick else 120.0
+    rtt = 2 * WAN_DELAY
+    report = ExperimentReport(
+        "ablation-credits",
+        "A8 (extension): RFTP credit sweep on the 40G/95ms WAN "
+        "(block 4 MiB, 1 stream)",
+        data_headers=["credits", "outstanding (MB)", "predicted Gbps",
+                      "measured Gbps"],
+    )
+    rates = {}
+    link_rate = None
+    for credits in CREDITS:
+        ctx = Context.create(seed=seed, cal=cal)
+        nersc, anl = wan_host(ctx, "n"), wan_host(ctx, "a")
+        link = wire_wan(nersc, anl)
+        link_rate = link.rate
+        res = RftpTransfer(
+            ctx, nersc, anl, source="zero", sink="null",
+            config=RftpConfig(block_size=BLOCK, streams_per_link=1,
+                              credits=credits),
+        ).run(duration)
+        rates[credits] = res.goodput
+        predicted = min(credits * BLOCK / rtt, link.rate)
+        report.add_row([
+            credits, round(credits * BLOCK / 1e6),
+            round(to_gbps(predicted), 2), round(to_gbps(res.goodput), 2),
+        ])
+
+    # linear region: doubling credits ~doubles goodput
+    report.add_check("linear region (2 -> 8 credits)", "~4x",
+                     f"{rates[8] / rates[2]:.2f}x",
+                     ok=3.5 < rates[8] / rates[2] < 4.5)
+    # saturation: past the BDP, more credits add nothing
+    report.add_check("saturated past the BDP", "flat",
+                     f"512/128 = {rates[512] / rates[128]:.3f}x",
+                     ok=rates[512] / rates[128] < 1.05)
+    bdp_mb = link_rate * rtt / 1e6
+    knee_credits = bdp_mb * 1e6 / BLOCK
+    report.add_check("knee near BDP/block", f"~{knee_credits:.0f} credits",
+                     "between 32 and 512",
+                     ok=rates[32] < 0.9 * rates[512])
+    report.add_check("peak fills the link", ">90%",
+                     f"{rates[512] / link_rate:.0%}",
+                     ok=rates[512] > 0.9 * link_rate)
+    return report

@@ -1,0 +1,69 @@
+"""Ablation A10 (extension): GridFTP parallelism vs its CPU bill.
+
+§4.3: "Running multiple processes simultaneously may alleviate this
+problem [single-threaded movers idling the network], but at the price of
+higher CPU consumption."  This ablation sweeps the mover count and
+compares throughput *and* CPU-per-gigabit against RFTP — showing that
+GridFTP can buy bandwidth but only at several times RFTP's CPU price,
+and never reaches the SAN ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB
+
+__all__ = ["run"]
+
+PROCESS_COUNTS = (1, 3, 6, 12, 24)
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 15.0 if quick else 120.0
+    report = ExperimentReport(
+        "ablation-gridftp-procs",
+        "A10 (extension): GridFTP mover-count sweep vs RFTP "
+        "(bandwidth bought with CPU)",
+        data_headers=["tool", "movers", "Gbps", "CPU% (both hosts)",
+                      "CPU% per Gbps"],
+    )
+    rftp_sys = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(),
+                                          seed=seed, cal=cal, lun_size=2 * GB)
+    rftp = rftp_sys.run_rftp_transfer(duration=duration)
+    rftp_cpu = rftp.sender_cpu.total + rftp.receiver_cpu.total
+    rftp_eff = rftp_cpu / rftp.goodput_gbps
+    report.add_row(["RFTP", "-", round(rftp.goodput_gbps, 1),
+                    round(rftp_cpu), round(rftp_eff, 1)])
+
+    rates, effs = {}, {}
+    for i, n in enumerate(PROCESS_COUNTS):
+        system = EndToEndSystem.lan_testbed(
+            TuningPolicy.numa_bound(), seed=seed + 1 + i, cal=cal,
+            lun_size=2 * GB)
+        res = system.run_gridftp_transfer(duration=duration, processes=n)
+        cpu = res.sender_cpu.total + res.receiver_cpu.total
+        rates[n] = res.goodput_gbps
+        effs[n] = cpu / max(res.goodput_gbps, 1e-9)
+        report.add_row(["GridFTP", n, round(res.goodput_gbps, 1),
+                        round(cpu), round(effs[n], 1)])
+
+    report.add_check("more movers help at first", "rising",
+                     f"{rates[6] / rates[1]:.1f}x (1 -> 6)",
+                     ok=rates[6] > 3 * rates[1])
+    report.add_check("returns diminish", "sub-linear past 6",
+                     f"{rates[24] / rates[6]:.2f}x (6 -> 24)",
+                     ok=rates[24] < 2.5 * rates[6])
+    best = max(rates.values())
+    report.add_check("GridFTP never reaches RFTP", "capped",
+                     f"best {best:.1f} vs RFTP {rftp.goodput_gbps:.1f} Gbps",
+                     ok=best < 0.85 * rftp.goodput_gbps)
+    report.add_check("GridFTP CPU-per-Gbps stays several x RFTP's",
+                     ">4x at any mover count",
+                     f"min {min(effs.values()) / rftp_eff:.1f}x",
+                     ok=min(effs.values()) > 4 * rftp_eff)
+    return report

@@ -1,0 +1,65 @@
+"""Ablation A5: LUN count sweep (§4.1).
+
+The paper exports six LUNs "to spread parallel IO requests into
+different banks of the main memory" and load-balance the two IB links.
+This ablation shows aggregate bandwidth versus the number of LUNs: one
+LUN serializes onto one link/bank; a handful unlock both links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.fio import FioJob, run_fio
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import backend_lan_host, frontend_lan_host
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.storage.initiator import IserInitiator
+from repro.storage.target import IserTarget
+from repro.util.units import GB, MIB, to_gbps
+
+__all__ = ["run"]
+
+LUN_COUNTS = (1, 2, 4, 6)
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    runtime = 10.0 if quick else 120.0
+    report = ExperimentReport(
+        "ablation-luns",
+        "A5: aggregate iSER bandwidth vs number of exported LUNs",
+        data_headers=["LUNs", "links used", "Gbps"],
+    )
+    rates: Dict[int, float] = {}
+    for n_luns in LUN_COUNTS:
+        ctx = Context.create(seed=seed, cal=cal)
+        front = frontend_lan_host(ctx, "front", with_ib=True)
+        back = backend_lan_host(ctx, "back")
+        wire_san(ctx, front, back)
+        target = IserTarget(ctx, back, tuning="numa", n_links=2)
+        for _ in range(n_luns):
+            target.create_lun(GB)
+        initiator = IserInitiator(ctx, front, target)
+        ctx.sim.run(until=initiator.login_all())
+        devices = [initiator.devices[i] for i in sorted(initiator.devices)]
+        job = FioJob(rw="read", block_size=4 * MIB, numjobs=4, runtime=runtime)
+        res = run_fio(ctx, front, devices, job)
+        rates[n_luns] = res.bandwidth
+        links = len({lun.link_index for lun in target.luns})
+        report.add_row([n_luns, links, round(to_gbps(res.bandwidth), 1)])
+
+    report.add_check("2 LUNs unlock the second IB link", ">1.5x of 1 LUN",
+                     f"{rates[2] / rates[1]:.2f}x",
+                     ok=rates[2] / rates[1] > 1.5)
+    report.add_check("6 LUNs saturate both links", "~same as 2-4",
+                     f"6/4 = {rates[6] / rates[4]:.3f}x",
+                     ok=0.9 < rates[6] / rates[4] < 1.15)
+    monotone = all(rates[a] <= rates[b] * 1.02
+                   for a, b in zip(LUN_COUNTS, LUN_COUNTS[1:]))
+    report.add_check("bandwidth non-decreasing in LUNs", "yes",
+                     "yes" if monotone else "no", ok=monotone)
+    return report

@@ -1,0 +1,94 @@
+"""Ablation A9 (extension): TCP vs RFTP on the long-haul path.
+
+§4.4 motivates RDMA on the WAN: "Long-haul fat links [...] have a large
+bandwidth delay product.  It is challenging for traditional network
+protocols to fill up the network pipe."  This ablation quantifies the
+claim (in the spirit of the authors' SC'12 paper [23]): one cubic TCP
+stream vs one RFTP stream on the 95 ms / 40 Gbps loop, watching both the
+ramp-up and the steady state.
+"""
+
+from __future__ import annotations
+
+from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import wan_host
+from repro.kernel.numa import NumaPolicy
+from repro.kernel.pages import place_region
+from repro.kernel.process import SimProcess
+from repro.net.tcp import TcpConnection, TcpEndpoint
+from repro.net.topology import wire_wan
+from repro.sim.context import Context
+from repro.util.units import MIB, to_gbps
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 60.0 if quick else 600.0
+    report = ExperimentReport(
+        "ablation-tcp-wan",
+        "A9 (extension): single-stream cubic TCP vs RFTP on the "
+        "40G/95ms ANI loop",
+        data_headers=["protocol", "first 1 s (Gbps)", "steady (Gbps)",
+                      "loss events"],
+    )
+
+    # --- TCP ----------------------------------------------------------------
+    ctx = Context.create(seed=seed, cal=cal)
+    nersc, anl = wan_host(ctx, "n"), wan_host(ctx, "a")
+    wire_wan(nersc, anl)
+    sproc = SimProcess(nersc, "s", cpu_policy=NumaPolicy.bind(0))
+    rproc = SimProcess(anl, "r", cpu_policy=NumaPolicy.bind(0))
+    st, rt = sproc.spawn_thread(), rproc.spawn_thread()
+    conn = TcpConnection(
+        ctx, "wan-tcp",
+        TcpEndpoint(st, nersc.pcie_slots[0].device,
+                    place_region(1 << 30, sproc.mem_policy, 2, touch_node=0)),
+        TcpEndpoint(rt, anl.pcie_slots[0].device,
+                    place_region(1 << 30, rproc.mem_policy, 2, touch_node=0)),
+        tuned_irq=True,
+    )
+    conn.open()
+    ctx.sim.run(until=1.0)
+    ctx.fluid.settle()
+    tcp_early = conn.flow.transferred / 1.0
+    ctx.sim.run(until=duration)
+    ctx.fluid.settle()
+    tcp_steady = (conn.flow.transferred - tcp_early * 1.0) / (duration - 1.0)
+    tcp_losses = conn.stats.loss_events
+    conn.close()
+    report.add_row(["TCP (cubic, 1 stream)", round(to_gbps(tcp_early), 2),
+                    round(to_gbps(tcp_steady), 2), tcp_losses])
+
+    # --- RFTP ----------------------------------------------------------------
+    ctx2 = Context.create(seed=seed + 1, cal=cal)
+    n2, a2 = wan_host(ctx2, "n"), wan_host(ctx2, "a")
+    wire_wan(n2, a2)
+    xfer = RftpTransfer(ctx2, n2, a2, source="zero", sink="null",
+                        config=RftpConfig(block_size=16 * MIB,
+                                          streams_per_link=4))
+    xfer.start()
+    ctx2.sim.run(until=1.0)
+    ctx2.fluid.settle()
+    rftp_early = xfer.transferred() / 1.0
+    ctx2.sim.run(until=duration)
+    ctx2.fluid.settle()
+    rftp_steady = (xfer.transferred() - rftp_early * 1.0) / (duration - 1.0)
+    xfer.stop()
+    report.add_row(["RFTP (4 streams)", round(to_gbps(rftp_early), 2),
+                    round(to_gbps(rftp_steady), 2), 0])
+
+    report.add_check("RFTP ramps immediately", "near line rate in 1 s",
+                     f"{to_gbps(rftp_early):.1f} Gbps",
+                     ok=rftp_early > 0.7 * rftp_steady)
+    report.add_check("TCP slow start wastes the early window", "slow",
+                     f"{to_gbps(tcp_early):.2f} Gbps first 1 s",
+                     ok=tcp_early < 0.6 * tcp_steady)
+    report.add_check("RFTP steady beats single-stream TCP", "yes",
+                     f"{rftp_steady / max(tcp_steady, 1.0):.1f}x",
+                     ok=rftp_steady > 1.5 * tcp_steady)
+    return report

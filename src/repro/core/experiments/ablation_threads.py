@@ -1,0 +1,65 @@
+"""Ablation A2: threads-per-LUN sweep (§4.2).
+
+"The gain in performance levels off once the number of threads reaches a
+certain threshold.  Beyond that, too many I/O threads would introduce
+more contention [...] the optimal configuration is to use four threads
+for each LUN."
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.apps.fio import FioJob, run_fio
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import backend_lan_host, frontend_lan_host
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.storage.initiator import IserInitiator
+from repro.storage.target import IserTarget
+from repro.util.units import GB, KIB, to_gbps
+
+__all__ = ["run"]
+
+THREAD_COUNTS = (1, 2, 4, 8, 16)
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    runtime = 10.0 if quick else 120.0
+    report = ExperimentReport(
+        "ablation-threads",
+        "A2: fio threads per LUN (the paper's optimum is 4)",
+        data_headers=["threads/LUN", "Gbps", "target CPU %"],
+    )
+    rates: Dict[int, float] = {}
+    for numjobs in THREAD_COUNTS:
+        ctx = Context.create(seed=seed, cal=cal)
+        front = frontend_lan_host(ctx, "front", with_ib=True)
+        back = backend_lan_host(ctx, "back")
+        wire_san(ctx, front, back)
+        target = IserTarget(ctx, back, tuning="numa", n_links=2)
+        for _ in range(6):
+            target.create_lun(GB)
+        initiator = IserInitiator(ctx, front, target)
+        ctx.sim.run(until=initiator.login_all())
+        devices = [initiator.devices[i] for i in sorted(initiator.devices)]
+        job = FioJob(rw="write", block_size=256 * KIB, numjobs=numjobs,
+                     runtime=runtime)
+        res = run_fio(ctx, front, devices, job)
+        rates[numjobs] = res.bandwidth
+        cpu = 100.0 * target.accounting().total_seconds / runtime
+        report.add_row([numjobs, round(to_gbps(res.bandwidth), 1), round(cpu)])
+
+    gain_1_to_4 = rates[4] / rates[1]
+    tail = rates[16] / rates[4]
+    report.add_check("scaling 1 -> 4 threads", "large gain",
+                     f"{gain_1_to_4:.2f}x", ok=gain_1_to_4 > 1.5)
+    report.add_check("4 threads near-saturates (8 adds little)", "yes",
+                     f"8/4 = {rates[8] / rates[4]:.3f}x",
+                     ok=rates[8] / rates[4] < 1.10)
+    report.add_check("16 threads levels off / degrades", "yes",
+                     f"16/4 = {tail:.3f}x", ok=tail < 1.05)
+    return report

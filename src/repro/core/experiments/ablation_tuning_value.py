@@ -1,0 +1,84 @@
+"""Ablation A12 (extension): what the paper's tuning buys end to end.
+
+The paper quantifies each tuning in isolation — +10% for iperf (§2.3),
++7.6%/+19% for iSER (Fig. 7) — but always runs the end-to-end
+comparison with both applications bound (§4.3: "we used numactl to bind
+the RFTP and GridFTP processes").  This ablation measures the composed
+effect: the full Figure 5 path with every knob at its default, each
+knob alone, and the paper's full tuning.
+
+The composition is super-linear: untuned pieces share the same QPI and
+remote-bank budgets, so their penalties compound.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB, to_gbps
+
+__all__ = ["run"]
+
+CONFIGS = (
+    ("nothing tuned", TuningPolicy(target_tuning="default", bind_apps=False,
+                                   tune_irq=False)),
+    ("targets only", TuningPolicy(target_tuning="numa", bind_apps=False,
+                                  tune_irq=False)),
+    ("apps only", TuningPolicy(target_tuning="default", bind_apps=True,
+                               tune_irq=True)),
+    ("full tuning (the paper)", TuningPolicy.numa_bound()),
+)
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 20.0 if quick else 300.0
+    report = ExperimentReport(
+        "ablation-tuning-value",
+        "A12 (extension): composed value of NUMA tuning for end-to-end RFTP",
+        data_headers=["configuration", "RFTP Gbps", "vs untuned"],
+    )
+    rates = {}
+    for i, (label, policy) in enumerate(CONFIGS):
+        system = EndToEndSystem.lan_testbed(policy, seed=seed + i, cal=cal,
+                                            lun_size=2 * GB)
+        rates[label] = system.run_rftp_transfer(duration=duration).goodput
+    base = rates["nothing tuned"]
+    for label, _ in CONFIGS:
+        report.add_row([label, round(to_gbps(rates[label]), 1),
+                        f"{rates[label] / base:.2f}x"])
+
+    full = rates["full tuning (the paper)"]
+    tgt_only = rates["targets only"]
+    apps_only = rates["apps only"]
+    report.add_check("full tuning vs nothing", "large (composed penalties)",
+                     f"{full / base:.2f}x", ok=full > 1.5 * base)
+    report.add_check(
+        "the gain is concentrated at the SAN targets",
+        "targets-only ~= full tuning",
+        f"{tgt_only / full:.2f}x of full",
+        ok=tgt_only > 0.95 * full,
+    )
+    report.add_check(
+        "zero-copy front end is placement-insensitive",
+        "apps-only ~= untuned",
+        f"{apps_only / base:.2f}x of untuned",
+        ok=0.95 < apps_only / base < 1.1,
+    )
+    report.add_check(
+        "composed gain exceeds the largest single-component gain",
+        "> Fig. 7's 1.19x", f"{full / base:.2f}x",
+        ok=full / base > 1.19,
+    )
+    report.notes.append(
+        "A finding the paper's bound-everything methodology could not "
+        "surface: RFTP's zero-copy data plane makes front-end numactl "
+        "binding irrelevant at these rates — every Gbps of the untuned "
+        "penalty lives in the target's copy path.  (The front-end "
+        "binding still matters for TCP tools; see the motivating "
+        "experiment.)"
+    )
+    return report

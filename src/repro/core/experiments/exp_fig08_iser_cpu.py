@@ -1,0 +1,50 @@
+"""Fig. 8: iSER target CPU utilization, default vs NUMA tuning.
+
+Same workload as Fig. 7; the metric is the target host's CPU.  Paper
+anchors: the default policy costs ≈**3x** the CPU on writes (coherence
+invalidations + remote copies), while the read-side saving is modest.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.experiments.exp_fig07_iser_bw import BLOCK_SIZES, sweep
+from repro.core.report import ExperimentReport
+from repro.util.units import KIB, MIB
+
+__all__ = ["run"]
+
+PAPER_WRITE_CPU_RATIO = 3.0
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    block_sizes = BLOCK_SIZES if not quick else (256 * KIB, 4 * MIB)
+    grid = sweep(quick=quick, seed=seed, cal=cal, block_sizes=block_sizes)
+    runtime = 10.0 if quick else 300.0
+    report = ExperimentReport(
+        "fig08",
+        "Fig. 8 iSER target CPU: default vs NUMA-tuned",
+        data_headers=["rw", "block size", "default CPU %", "NUMA CPU %", "ratio"],
+    )
+    big = max(block_sizes)
+    for rw in ("read", "write"):
+        for bs in block_sizes:
+            d_cpu = 100.0 * grid[("default", rw, bs)][1] / runtime
+            n_cpu = 100.0 * grid[("numa", rw, bs)][1] / runtime
+            report.add_row([
+                rw, f"{bs // 1024} KiB", round(d_cpu), round(n_cpu),
+                f"{d_cpu / max(n_cpu, 1e-9):.2f}x",
+            ])
+
+    w_ratio = grid[("default", "write", big)][1] / grid[("numa", "write", big)][1]
+    r_ratio = grid[("default", "read", big)][1] / grid[("numa", "read", big)][1]
+    report.add_check("write CPU ratio (default/tuned)",
+                     f"~{PAPER_WRITE_CPU_RATIO:.0f}x", f"{w_ratio:.2f}x",
+                     ok=2.2 < w_ratio < 4.0)
+    report.add_check("read CPU ratio (default/tuned)", "modest (<2x)",
+                     f"{r_ratio:.2f}x", ok=r_ratio < 2.0)
+    report.add_check("write penalty exceeds read penalty", "yes",
+                     "yes" if w_ratio > r_ratio else "no", ok=w_ratio > r_ratio)
+    return report

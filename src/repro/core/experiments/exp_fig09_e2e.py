@@ -1,0 +1,84 @@
+"""Fig. 9: end-to-end throughput, RFTP vs GridFTP (25-minute runs).
+
+The full Figure 5 path: SAN A -> host A -> 3x RoCE -> host B -> SAN B,
+XFS over iSER, both applications numactl-bound.
+
+Paper anchors: fio puts the narrowest stage (file write) at
+**94.8 Gbps**; RFTP sustains **91 Gbps** (96% of that); GridFTP reaches
+**29 Gbps** (30%), i.e. RFTP is ≈**3x** faster.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB, to_gbps
+
+__all__ = ["run"]
+
+PAPER_CEILING = 94.8
+PAPER_RFTP = 91.0
+PAPER_GRIDFTP = 29.0
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 30.0 if quick else 1500.0  # paper: 25 minutes
+    lun_size = 2 * GB if quick else 50 * GB
+    report = ExperimentReport(
+        "fig09",
+        "Fig. 9 end-to-end throughput: RFTP vs GridFTP over 3x40G + iSER SANs",
+        data_headers=["tool", "Gbps", "% of effective bandwidth"],
+    )
+
+    system = EndToEndSystem.lan_testbed(
+        TuningPolicy.numa_bound(), seed=seed, cal=cal, lun_size=lun_size
+    )
+    ceiling = system.fio_file_write_ceiling(runtime=min(duration, 20.0))
+    rftp = system.run_rftp_transfer(duration=duration)
+
+    system2 = EndToEndSystem.lan_testbed(
+        TuningPolicy.numa_bound(), seed=seed + 1, cal=cal, lun_size=lun_size
+    )
+    gridftp = system2.run_gridftp_transfer(duration=duration)
+
+    ceiling_gbps = to_gbps(ceiling)
+    report.add_row(["fio write ceiling", round(ceiling_gbps, 1), "100%"])
+    report.add_row(["RFTP", round(rftp.goodput_gbps, 1),
+                    f"{rftp.goodput / ceiling:.0%}"])
+    report.add_row(["GridFTP", round(gridftp.goodput_gbps, 1),
+                    f"{gridftp.goodput / ceiling:.0%}"])
+
+    report.add_check("file-write ceiling (Gbps)", PAPER_CEILING,
+                     round(ceiling_gbps, 1),
+                     ok=abs(ceiling_gbps - PAPER_CEILING) / PAPER_CEILING < 0.08)
+    report.add_check("RFTP (Gbps)", PAPER_RFTP, round(rftp.goodput_gbps, 1),
+                     ok=abs(rftp.goodput_gbps - PAPER_RFTP) / PAPER_RFTP < 0.08)
+    report.add_check("RFTP share of ceiling", "96%",
+                     f"{rftp.goodput / ceiling:.0%}",
+                     ok=rftp.goodput / ceiling > 0.90)
+    report.add_check("GridFTP (Gbps)", PAPER_GRIDFTP,
+                     round(gridftp.goodput_gbps, 1),
+                     ok=abs(gridftp.goodput_gbps - PAPER_GRIDFTP) / PAPER_GRIDFTP < 0.15)
+    ratio = rftp.goodput / gridftp.goodput
+    report.add_check("RFTP/GridFTP speedup", "~3.1x", f"{ratio:.1f}x",
+                     ok=2.4 < ratio < 4.0)
+    if rftp.series is not None and len(rftp.series) > 4:
+        import numpy as np
+
+        values = np.asarray(rftp.series.values[1:])
+        cv = float(values.std() / values.mean()) if values.mean() else 1.0
+        report.add_check("RFTP throughput steadiness (CV)", "flat line",
+                         f"{cv:.3f}", ok=cv < 0.1)
+        report.notes.append(
+            "RFTP timeline (Gbps over the run): "
+            + rftp.series.sparkline(width=50)
+        )
+    if gridftp.series is not None and len(gridftp.series) > 4:
+        report.notes.append(
+            "GridFTP timeline: " + gridftp.series.sparkline(width=50)
+        )
+    return report

@@ -1,0 +1,61 @@
+"""Fig. 10: CPU utilization breakdown for RFTP and GridFTP (end-to-end).
+
+Paper anchor: GridFTP shows high "sys" CPU (TCP stack + copies +
+interrupts), RFTP's CPU is predominantly user-space protocol work and
+far smaller per gigabit moved.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 30.0 if quick else 1500.0
+    lun_size = 2 * GB if quick else 50 * GB
+    report = ExperimentReport(
+        "fig10",
+        "Fig. 10 end-to-end CPU breakdown: RFTP vs GridFTP",
+        data_headers=["tool", "side", "usr %", "sys %", "total %",
+                      "CPU% per Gbps"],
+    )
+
+    system = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=seed,
+                                        cal=cal, lun_size=lun_size)
+    rftp = system.run_rftp_transfer(duration=duration)
+    system2 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=seed + 1,
+                                         cal=cal, lun_size=lun_size)
+    gridftp = system2.run_gridftp_transfer(duration=duration)
+
+    rows = [
+        ("RFTP", "sender", rftp.sender_cpu, rftp.goodput_gbps),
+        ("RFTP", "receiver", rftp.receiver_cpu, rftp.goodput_gbps),
+        ("GridFTP", "sender", gridftp.sender_cpu, gridftp.goodput_gbps),
+        ("GridFTP", "receiver", gridftp.receiver_cpu, gridftp.goodput_gbps),
+    ]
+    for tool, side, cpu, gbps in rows:
+        report.add_row([
+            tool, side, round(cpu.usr), round(cpu.sys), round(cpu.total),
+            round(cpu.total / max(gbps, 1e-9), 1),
+        ])
+
+    g_snd, r_snd = gridftp.sender_cpu, rftp.sender_cpu
+    report.add_check("GridFTP sys% dominates its usr%", "yes",
+                     "yes" if g_snd.sys > g_snd.usr else "no",
+                     ok=g_snd.sys > g_snd.usr)
+    report.add_check("RFTP is usr-dominated", "yes",
+                     "yes" if r_snd.usr > r_snd.sys else "no",
+                     ok=r_snd.usr > r_snd.sys)
+    rftp_eff = rftp.sender_cpu.total / max(rftp.goodput_gbps, 1e-9)
+    grid_eff = gridftp.sender_cpu.total / max(gridftp.goodput_gbps, 1e-9)
+    report.add_check("CPU%-per-Gbps: GridFTP vs RFTP", ">5x worse",
+                     f"{grid_eff / rftp_eff:.1f}x", ok=grid_eff > 4 * rftp_eff)
+    return report

@@ -1,0 +1,64 @@
+"""Fig. 11: bi-directional end-to-end throughput (50-minute runs).
+
+Both directions run simultaneously over the same hosts, links and SANs.
+
+Paper anchors: RFTP's aggregate improves **+83%** over unidirectional
+(17% short of a perfect 2x, lost to contention at hosts and targets);
+GridFTP improves only **+33%** (CPU contention).
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB
+
+__all__ = ["run"]
+
+PAPER_RFTP_GAIN = 1.83
+PAPER_GRIDFTP_GAIN = 1.33
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 30.0 if quick else 3000.0  # paper: 50 minutes
+    lun_size = 2 * GB if quick else 50 * GB
+    report = ExperimentReport(
+        "fig11",
+        "Fig. 11 bi-directional end-to-end throughput",
+        data_headers=["tool", "unidirectional Gbps", "bidirectional Gbps",
+                      "gain"],
+    )
+
+    def fresh(offset):
+        return EndToEndSystem.lan_testbed(
+            TuningPolicy.numa_bound(), seed=seed + offset, cal=cal,
+            lun_size=lun_size,
+        )
+
+    rftp_uni = fresh(0).run_rftp_transfer(duration=duration)
+    rftp_bi = fresh(1).run_rftp_bidirectional(duration=duration)
+    grid_uni = fresh(2).run_gridftp_transfer(duration=duration)
+    grid_bi = fresh(3).run_gridftp_bidirectional(duration=duration)
+
+    rftp_gain = rftp_bi.goodput / rftp_uni.goodput
+    grid_gain = grid_bi.goodput / grid_uni.goodput
+    report.add_row(["RFTP", round(rftp_uni.goodput_gbps, 1),
+                    round(rftp_bi.goodput_gbps, 1), f"{rftp_gain:.2f}x"])
+    report.add_row(["GridFTP", round(grid_uni.goodput_gbps, 1),
+                    round(grid_bi.goodput_gbps, 1), f"{grid_gain:.2f}x"])
+
+    report.add_check("RFTP bidirectional gain", f"{PAPER_RFTP_GAIN:.2f}x",
+                     f"{rftp_gain:.2f}x", ok=1.6 < rftp_gain <= 2.0)
+    report.add_check("GridFTP bidirectional gain", f"{PAPER_GRIDFTP_GAIN:.2f}x",
+                     f"{grid_gain:.2f}x", ok=1.1 < grid_gain < 1.7)
+    report.add_check("RFTP gains more than GridFTP", "yes",
+                     "yes" if rftp_gain > grid_gain else "no",
+                     ok=rftp_gain > grid_gain)
+    report.add_check("RFTP bidir short of 2x (contention)", "17% less",
+                     f"{(2.0 - rftp_gain) / 2.0:.0%} less",
+                     ok=rftp_gain < 2.0)
+    return report

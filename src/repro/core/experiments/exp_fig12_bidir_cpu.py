@@ -1,0 +1,74 @@
+"""Fig. 12: CPU breakdown for the bi-directional RFTP/GridFTP runs.
+
+Paper anchor: GridFTP's bi-directional CPU roughly doubles while its
+throughput gains only 33% — CPU contention is what caps it; RFTP's CPU
+stays modest per gigabit.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    duration = 30.0 if quick else 3000.0
+    lun_size = 2 * GB if quick else 50 * GB
+    report = ExperimentReport(
+        "fig12",
+        "Fig. 12 bi-directional CPU breakdown: RFTP vs GridFTP",
+        data_headers=["tool", "mode", "Gbps", "usr %", "sys %", "total %"],
+    )
+
+    def fresh(offset):
+        return EndToEndSystem.lan_testbed(
+            TuningPolicy.numa_bound(), seed=seed + offset, cal=cal,
+            lun_size=lun_size,
+        )
+
+    rftp_uni = fresh(0).run_rftp_transfer(duration=duration)
+    rftp_bi = fresh(1).run_rftp_bidirectional(duration=duration)
+    grid_uni = fresh(2).run_gridftp_transfer(duration=duration)
+    grid_bi = fresh(3).run_gridftp_bidirectional(duration=duration)
+
+    for tool, mode, res in (
+        ("RFTP", "uni", rftp_uni),
+        ("RFTP", "bidir", rftp_bi),
+        ("GridFTP", "uni", grid_uni),
+        ("GridFTP", "bidir", grid_bi),
+    ):
+        cpu = res.sender_cpu.by_category.copy()
+        for k, v in res.receiver_cpu.by_category.items():
+            cpu[k] = cpu.get(k, 0.0) + v
+        usr = sum(v for k, v in cpu.items()
+                  if k in ("usr_proto", "load", "offload"))
+        sys_ = sum(v for k, v in cpu.items()
+                   if k in ("sys_proto", "copy", "irq", "coherence", "io"))
+        report.add_row([tool, mode, round(res.goodput_gbps, 1),
+                        round(usr), round(sys_), round(usr + sys_)])
+
+    grid_cpu_uni = grid_uni.sender_cpu.total + grid_uni.receiver_cpu.total
+    grid_cpu_bi = grid_bi.sender_cpu.total + grid_bi.receiver_cpu.total
+    rftp_cpu_uni = rftp_uni.sender_cpu.total + rftp_uni.receiver_cpu.total
+    rftp_cpu_bi = rftp_bi.sender_cpu.total + rftp_bi.receiver_cpu.total
+
+    report.add_check("GridFTP bidir CPU growth", "~2x",
+                     f"{grid_cpu_bi / grid_cpu_uni:.2f}x",
+                     ok=1.2 < grid_cpu_bi / grid_cpu_uni < 2.4)
+    report.add_check(
+        "GridFTP burns more CPU per Gbps than RFTP", ">5x",
+        f"{(grid_cpu_bi / grid_bi.goodput_gbps) / (rftp_cpu_bi / rftp_bi.goodput_gbps):.1f}x",
+        ok=(grid_cpu_bi / grid_bi.goodput_gbps)
+        > 4 * (rftp_cpu_bi / rftp_bi.goodput_gbps),
+    )
+    report.add_check("RFTP bidir CPU grows with throughput", "yes",
+                     f"{rftp_cpu_bi / rftp_cpu_uni:.2f}x",
+                     ok=rftp_cpu_bi > rftp_cpu_uni)
+    return report

@@ -1,0 +1,104 @@
+"""Fig. 13: RFTP bandwidth over the 40 Gbps / 95 ms ANI WAN loop.
+
+Memory-to-memory (``/dev/zero`` -> ``/dev/null``) between the two ANI
+hosts, sweeping block size and the number of parallel streams.
+
+Paper anchors: with large blocks RFTP fills **97%** of the raw link;
+payload efficiency rises with block size (per-block control messages
+amortize); more streams lift small-block throughput (credits x block /
+RTT is the per-stream ceiling at BDP ≈ 500 MB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.rftp.transfer import RftpConfig, RftpResult, RftpTransfer
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import wan_host
+from repro.net.topology import wire_wan
+from repro.sim.context import Context
+from repro.util.units import KIB, MIB, to_gbps
+
+__all__ = ["run", "sweep", "BLOCK_SIZES", "STREAM_COUNTS"]
+
+BLOCK_SIZES = (256 * KIB, 1 * MIB, 4 * MIB, 16 * MIB)
+STREAM_COUNTS = (1, 2, 4, 8)
+PAPER_PEAK_EFFICIENCY = 0.97
+
+
+def sweep(quick: bool = True, seed: int = 0, cal: Calibration | None = None,
+          block_sizes=BLOCK_SIZES, stream_counts=STREAM_COUNTS,
+          ) -> Dict[Tuple[int, int], RftpResult]:
+    """Run the (block size x streams) grid; returns full results."""
+    duration = 20.0 if quick else 300.0
+    out: Dict[Tuple[int, int], RftpResult] = {}
+    for streams in stream_counts:
+        for bs in block_sizes:
+            ctx = Context.create(seed=seed, cal=cal)
+            nersc = wan_host(ctx, "nersc")
+            anl = wan_host(ctx, "anl")
+            wire_wan(nersc, anl)
+            xfer = RftpTransfer(
+                ctx, nersc, anl, source="zero", sink="null",
+                config=RftpConfig(block_size=bs, streams_per_link=streams,
+                                  numa_tuned=True),
+                name=f"wan-{bs}-{streams}",
+            )
+            out[(bs, streams)] = xfer.run(duration)
+    return out
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    block_sizes = BLOCK_SIZES if not quick else (256 * KIB, 4 * MIB, 16 * MIB)
+    stream_counts = STREAM_COUNTS if not quick else (1, 4, 8)
+    grid = sweep(quick=quick, seed=seed, cal=cal, block_sizes=block_sizes,
+                 stream_counts=stream_counts)
+    report = ExperimentReport(
+        "fig13",
+        "Fig. 13 RFTP WAN bandwidth vs block size and parallel streams "
+        "(40G RoCE, RTT 95 ms)",
+        data_headers=["streams"] + [f"{bs // 1024} KiB" for bs in block_sizes],
+    )
+    for streams in stream_counts:
+        report.add_row(
+            [streams]
+            + [round(to_gbps(grid[(bs, streams)].goodput), 2)
+               for bs in block_sizes]
+        )
+
+    raw = 40.0
+    peak = max(to_gbps(r.goodput) for r in grid.values())
+    report.add_check("peak link utilization",
+                     f"{PAPER_PEAK_EFFICIENCY:.0%} of 40G",
+                     f"{peak / raw:.0%}", ok=peak / raw > 0.90)
+
+    big, small = max(block_sizes), min(block_sizes)
+    top = max(stream_counts)
+    monotone_in_bs = all(
+        grid[(big, s)].goodput >= grid[(small, s)].goodput
+        for s in stream_counts
+    )
+    report.add_check("throughput rises with block size", "yes",
+                     "yes" if monotone_in_bs else "no", ok=monotone_in_bs)
+    monotone_in_streams = all(
+        grid[(bs, top)].goodput >= grid[(bs, min(stream_counts))].goodput
+        for bs in block_sizes
+    )
+    report.add_check("throughput rises with streams", "yes",
+                     "yes" if monotone_in_streams else "no",
+                     ok=monotone_in_streams)
+    # per-stream credit ceiling at small block / single stream
+    one = grid[(small, 1)]
+    ctx_cal = cal if cal is not None else Calibration()
+    credit_cap = ctx_cal.rftp_credits_per_stream * small / 0.095
+    report.add_check(
+        "single-stream small-block rate ~= credits*block/RTT",
+        f"{to_gbps(credit_cap):.2f} Gbps",
+        f"{to_gbps(one.goodput):.2f} Gbps",
+        ok=abs(one.goodput - credit_cap) / credit_cap < 0.15,
+    )
+    return report

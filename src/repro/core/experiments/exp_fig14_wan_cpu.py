@@ -1,0 +1,65 @@
+"""Fig. 14: RFTP CPU on the WAN path, sender (a) and receiver (b).
+
+Paper anchor: per-block control-message processing dominates at small
+blocks, so CPU utilization *falls* as block size grows (and rises with
+stream count at fixed block size).
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.experiments.exp_fig13_wan_bw import sweep
+from repro.core.report import ExperimentReport
+from repro.util.units import KIB, MIB, to_gbps
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    block_sizes = (256 * KIB, 1 * MIB, 4 * MIB, 16 * MIB) if not quick else (
+        256 * KIB, 4 * MIB, 16 * MIB)
+    stream_counts = (1, 4, 8) if quick else (1, 2, 4, 8)
+    duration = 20.0 if quick else 300.0
+    grid = sweep(quick=quick, seed=seed, cal=cal, block_sizes=block_sizes,
+                 stream_counts=stream_counts)
+    report = ExperimentReport(
+        "fig14",
+        "Fig. 14 RFTP WAN CPU utilization (sender / receiver)",
+        data_headers=["streams", "block size", "Gbps", "sender CPU %",
+                      "receiver CPU %", "CPU% per Gbps"],
+    )
+    for streams in stream_counts:
+        for bs in block_sizes:
+            res = grid[(bs, streams)]
+            snd = 100.0 * res.sender_accounting.total_seconds / duration
+            rcv = 100.0 * res.receiver_accounting.total_seconds / duration
+            gbps = to_gbps(res.goodput)
+            report.add_row([
+                streams, f"{bs // 1024} KiB", round(gbps, 2), round(snd, 1),
+                round(rcv, 1),
+                round((snd + rcv) / max(gbps, 1e-9), 1),
+            ])
+
+    # normalized CPU cost falls with block size (per-block amortization)
+    top = max(stream_counts)
+    big, small = max(block_sizes), min(block_sizes)
+
+    def cpu_per_byte(bs):
+        res = grid[(bs, top)]
+        total = (res.sender_accounting.total_seconds
+                 + res.receiver_accounting.total_seconds)
+        return total / max(res.total_bytes, 1.0)
+
+    falling = cpu_per_byte(big) < cpu_per_byte(small)
+    report.add_check("CPU-per-byte falls with block size", "yes",
+                     "yes" if falling else "no", ok=falling)
+    # sender and receiver costs are of the same order (both zero-copy)
+    res = grid[(big, top)]
+    snd = res.sender_accounting.total_seconds
+    rcv = res.receiver_accounting.total_seconds
+    report.add_check("sender/receiver CPU ratio", "same order",
+                     f"{snd / max(rcv, 1e-9):.2f}x",
+                     ok=0.3 < snd / max(rcv, 1e-9) < 3.5)
+    return report

@@ -1,0 +1,64 @@
+"""Table 1: testbed host configurations.
+
+Not a measurement — a consistency check that the modelled machines match
+the published inventory (CPUs, NUMA nodes, memory, adapters, MTUs, RTTs).
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.hw.presets import backend_lan_host, frontend_lan_host, wan_host
+from repro.net.topology import LAN_IB_DELAY, LAN_ROCE_DELAY, WAN_DELAY
+from repro.sim.context import Context
+
+__all__ = ["run"]
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    ctx = Context.create(seed=seed, cal=cal)
+    front = frontend_lan_host(ctx, "front", with_ib=True)
+    back = backend_lan_host(ctx, "back")
+    wan = wan_host(ctx, "wan")
+
+    report = ExperimentReport(
+        "table1",
+        "Table 1 testbed host configurations",
+        data_headers=["host class", "cores", "NUMA nodes", "mem (GiB)",
+                      "adapters", "RTT (ms)"],
+    )
+    roce = [s.device for s in front.pcie_slots if s.device.kind.name == "ROCE_QDR"]
+    ib = [s.device for s in front.pcie_slots if s.device.kind.name == "IB_FDR"]
+    report.add_row([
+        "front-end LAN", front.n_cores, front.n_nodes,
+        front.total_memory_bytes >> 30,
+        f"{len(roce)}x RoCE QDR + {len(ib)}x IB FDR",
+        round(2 * LAN_ROCE_DELAY * 1e3, 3),
+    ])
+    back_ib = [s.device for s in back.pcie_slots]
+    report.add_row([
+        "back-end LAN", back.n_cores, back.n_nodes,
+        back.total_memory_bytes >> 30,
+        f"{len(back_ib)}x IB FDR",
+        round(2 * LAN_IB_DELAY * 1e3, 3),
+    ])
+    report.add_row([
+        "WAN (ANI)", wan.n_cores, wan.n_nodes,
+        wan.total_memory_bytes >> 30,
+        "1x RoCE QDR",
+        round(2 * WAN_DELAY * 1e3, 1),
+    ])
+
+    report.add_check("front-end cores", 16, front.n_cores, ok=front.n_cores == 16)
+    report.add_check("back-end mem (GB)", 384, back.total_memory_bytes >> 30,
+                     ok=(back.total_memory_bytes >> 30) == 384)
+    report.add_check("WAN cores", 12, wan.n_cores, ok=wan.n_cores == 12)
+    report.add_check("LAN RoCE RTT (ms)", 0.166, round(2 * LAN_ROCE_DELAY * 1e3, 3),
+                     ok=abs(2 * LAN_ROCE_DELAY * 1e3 - 0.166) < 1e-6)
+    report.add_check("LAN IB RTT (ms)", 0.144, round(2 * LAN_IB_DELAY * 1e3, 3),
+                     ok=abs(2 * LAN_IB_DELAY * 1e3 - 0.144) < 1e-6)
+    report.add_check("WAN RTT (ms)", 95, round(2 * WAN_DELAY * 1e3, 1),
+                     ok=abs(2 * WAN_DELAY * 1e3 - 95) < 1e-6)
+    return report

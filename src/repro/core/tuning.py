@@ -1,0 +1,51 @@
+"""System-wide NUMA tuning policies.
+
+A :class:`TuningPolicy` captures the paper's two operating regimes in one
+object so the end-to-end builder can apply them consistently to targets,
+initiators, transfer applications and IRQ steering:
+
+* :meth:`TuningPolicy.default` — stock Linux behaviour everywhere,
+* :meth:`TuningPolicy.numa_bound` — the paper's tuning: one target
+  process per node with ``mpol``-pinned tmpfs files, ``numactl``-bound
+  RFTP/GridFTP processes near their NICs, IRQs steered NIC-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TuningPolicy"]
+
+
+@dataclass(frozen=True)
+class TuningPolicy:
+    """Switches for every NUMA-sensitive knob in the testbed."""
+
+    #: per-node target processes with node-pinned tmpfs ("numa") vs a
+    #: single roaming target ("default").
+    target_tuning: str = "default"
+    #: numactl-bind transfer applications to NIC-local nodes.
+    bind_apps: bool = False
+    #: steer NIC interrupts to the NIC-local node.
+    tune_irq: bool = False
+
+    def __post_init__(self):
+        if self.target_tuning not in ("default", "numa"):
+            raise ValueError(
+                f"target_tuning must be 'default' or 'numa', got {self.target_tuning!r}"
+            )
+
+    @classmethod
+    def default(cls) -> "TuningPolicy":
+        """Stock Linux scheduling and allocation everywhere."""
+        return cls(target_tuning="default", bind_apps=False, tune_irq=False)
+
+    @classmethod
+    def numa_bound(cls) -> "TuningPolicy":
+        """The paper's full tuning (§3.1 + §4.3 numactl bindings)."""
+        return cls(target_tuning="numa", bind_apps=True, tune_irq=True)
+
+    @property
+    def label(self) -> str:
+        """Human-readable name of this configuration."""
+        return "NUMA-tuned" if self.bind_apps else "default"

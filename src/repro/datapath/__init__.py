@@ -1,0 +1,21 @@
+"""Real byte movement: zero-copy buffer pools, scatter/gather, integrity.
+
+The performance layer is a simulation, but correctness is not: small
+transfers move *actual bytes* through the protocol stack (RFTP framing,
+iSER/SCSI, filesystems).  This package provides the buffer machinery —
+written zero-copy, per the HPC guideline of using views over copies —
+plus streaming digests to verify end-to-end integrity.
+"""
+
+from repro.datapath.buffers import BufferPool, PooledBuffer
+from repro.datapath.integrity import StreamingDigest, checksum, verify_equal
+from repro.datapath.zerocopy import ScatterGatherList
+
+__all__ = [
+    "BufferPool",
+    "PooledBuffer",
+    "StreamingDigest",
+    "checksum",
+    "verify_equal",
+    "ScatterGatherList",
+]

@@ -1,0 +1,98 @@
+"""Zero-copy buffer pools.
+
+RDMA applications pre-register a fixed arena and recycle fixed-size
+buffers out of it (registration is expensive; RFTP does exactly this).
+:class:`BufferPool` models that: one NumPy arena, fixed-size slots, and
+:class:`PooledBuffer` views handed out without copying.  Double-free and
+use-after-free are detected — the bugs that actually bite RDMA code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["BufferPool", "PooledBuffer"]
+
+
+class PooledBuffer:
+    """A slot checked out of a :class:`BufferPool` (a view, not a copy)."""
+
+    __slots__ = ("pool", "index", "_generation")
+
+    def __init__(self, pool: "BufferPool", index: int, generation: int):
+        self.pool = pool
+        self.index = index
+        self._generation = generation
+
+    @property
+    def valid(self) -> bool:
+        """True while the underlying resource is still live."""
+        return self.pool._generations[self.index] == self._generation
+
+    @property
+    def view(self) -> np.ndarray:
+        """The backing bytes (uint8 view into the arena; zero-copy)."""
+        if not self.valid:
+            raise RuntimeError(
+                f"use-after-free: slot {self.index} was returned to the pool"
+            )
+        start = self.index * self.pool.buffer_size
+        return self.pool.arena[start : start + self.pool.buffer_size]
+
+    def fill(self, data: np.ndarray) -> None:
+        """Copy *data* into the slot (the one legitimate copy: ingest)."""
+        if len(data) > self.pool.buffer_size:
+            raise ValueError(
+                f"data of {len(data)} bytes exceeds slot size {self.pool.buffer_size}"
+            )
+        self.view[: len(data)] = data
+
+    def release(self) -> None:
+        """Return the slot to the pool."""
+        self.pool._release(self)
+
+
+class BufferPool:
+    """A registered arena divided into equal recycled slots."""
+
+    def __init__(self, n_buffers: int, buffer_size: int):
+        check_positive("n_buffers", n_buffers)
+        check_positive("buffer_size", buffer_size)
+        self.n_buffers = n_buffers
+        self.buffer_size = buffer_size
+        self.arena = np.zeros(n_buffers * buffer_size, dtype=np.uint8)
+        self._free: list[int] = list(range(n_buffers - 1, -1, -1))
+        self._generations = [0] * n_buffers
+
+    @property
+    def free_count(self) -> int:
+        """Number of free slots."""
+        return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        """Number of checked-out slots."""
+        return self.n_buffers - len(self._free)
+
+    def acquire(self) -> Optional[PooledBuffer]:
+        """Check out a slot, or None if the pool is exhausted."""
+        if not self._free:
+            return None
+        idx = self._free.pop()
+        return PooledBuffer(self, idx, self._generations[idx])
+
+    def _release(self, buf: PooledBuffer) -> None:
+        if self._generations[buf.index] != buf._generation:
+            raise RuntimeError(f"double free of slot {buf.index}")
+        self._generations[buf.index] += 1
+        self._free.append(buf.index)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BufferPool {self.in_use}/{self.n_buffers} in use, "
+            f"{self.buffer_size} B each>"
+        )

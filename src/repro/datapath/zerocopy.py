@@ -1,0 +1,88 @@
+"""Scatter/gather lists: a logical byte stream over multiple views.
+
+RDMA work requests carry scatter/gather entries; RFTP assembles file
+blocks from pool buffers without copying.  :class:`ScatterGatherList`
+provides the logical-stream operations (length, slicing, iteration,
+digesting) over a list of NumPy views, materializing nothing unless
+explicitly asked.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.datapath.integrity import StreamingDigest
+
+__all__ = ["ScatterGatherList"]
+
+
+class ScatterGatherList:
+    """An ordered list of byte segments treated as one stream."""
+
+    def __init__(self, segments: Sequence[np.ndarray] = ()):
+        self._segments: list[np.ndarray] = []
+        for seg in segments:
+            self.append(seg)
+
+    def append(self, segment: np.ndarray) -> None:
+        """Append one segment (a uint8 view; no copy)."""
+        arr = np.asarray(segment)
+        if arr.dtype != np.uint8 or arr.ndim != 1:
+            raise ValueError("segments must be 1-D uint8 arrays")
+        self._segments.append(arr)
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments."""
+        return len(self._segments)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total payload bytes."""
+        return sum(len(s) for s in self._segments)
+
+    def segments(self) -> Iterator[np.ndarray]:
+        """Iterate the segments in order."""
+        return iter(self._segments)
+
+    def digest(self) -> str:
+        """Stream digest without materializing."""
+        d = StreamingDigest()
+        for seg in self._segments:
+            d.update(seg)
+        return d.hexdigest()
+
+    def slice(self, offset: int, length: int) -> "ScatterGatherList":
+        """A sub-stream (views only, no copies)."""
+        if offset < 0 or length < 0 or offset + length > self.total_bytes:
+            raise ValueError(
+                f"slice [{offset}, {offset + length}) outside stream of "
+                f"{self.total_bytes} bytes"
+            )
+        out = ScatterGatherList()
+        pos = 0
+        remaining = length
+        for seg in self._segments:
+            if remaining == 0:
+                break
+            seg_start = pos
+            seg_end = pos + len(seg)
+            pos = seg_end
+            if seg_end <= offset:
+                continue
+            start = max(0, offset - seg_start)
+            take = min(len(seg) - start, remaining)
+            out.append(seg[start : start + take])
+            remaining -= take
+        return out
+
+    def materialize(self) -> np.ndarray:
+        """Concatenate into one array (the explicit, single copy)."""
+        if not self._segments:
+            return np.empty(0, dtype=np.uint8)
+        return np.concatenate(self._segments)
+
+    def __len__(self) -> int:
+        return self.total_bytes

@@ -1,0 +1,30 @@
+"""Filesystems over block devices: VFS, page cache, XFS- and ext4-like.
+
+The paper's end-to-end runs (§4.3) transfer files through POSIX
+filesystems built on the iSER block devices: "we chose XFS [...] since
+the XFS file system particularly is efficient for parallel I/O".  GridFTP
+additionally suffers the page-cache effect ("without support for direct
+I/O, GridFTP suffers the I/O cache effect"), while RFTP uses O_DIRECT.
+
+* :mod:`repro.fs.pagecache` — page cache with hit/miss accounting and the
+  buffered-I/O extra copy,
+* :mod:`repro.fs.vfs` — file handles, extent allocation, POSIX-ish ops,
+* :mod:`repro.fs.xfs` — allocation-group parallelism,
+* :mod:`repro.fs.ext4` — journal-serialized baseline.
+"""
+
+from repro.fs.ext4 import Ext4FileSystem
+from repro.fs.pagecache import PageCache
+from repro.fs.vfs import FileHandle, FileSystem, O_DIRECT, O_RDONLY, O_RDWR
+from repro.fs.xfs import XfsFileSystem
+
+__all__ = [
+    "FileSystem",
+    "FileHandle",
+    "O_DIRECT",
+    "O_RDONLY",
+    "O_RDWR",
+    "PageCache",
+    "XfsFileSystem",
+    "Ext4FileSystem",
+]

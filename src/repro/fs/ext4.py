@@ -1,0 +1,27 @@
+"""ext4-like filesystem: single-journal baseline.
+
+ext4's shared journal (JBD2) serializes metadata commits, which caps the
+number of write streams the layout serves at full speed — the reason the
+paper prefers XFS for parallel I/O while noting overall throughput is
+"comparable" (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.fs.vfs import FileSystem
+
+__all__ = ["Ext4FileSystem"]
+
+
+class Ext4FileSystem(FileSystem):
+    """ext4 over a block device."""
+
+    fstype = "ext4"
+
+    def per_io_cpu(self) -> float:
+        """Fixed CPU seconds per I/O (journal/allocation bookkeeping)."""
+        return self.ctx.cal.ext4_per_io_cpu
+
+    def max_parallel_streams(self) -> int:
+        """Streams served without on-disk serialization."""
+        return self.ctx.cal.ext4_concurrency

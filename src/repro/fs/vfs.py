@@ -1,0 +1,272 @@
+"""VFS: files, extents, and POSIX-ish operations over a block device.
+
+A :class:`FileSystem` owns a block device, an extent allocator, and a
+page cache.  Files are laid out in contiguous extents (sequential
+workloads — the paper's — see no fragmentation).  Subclasses (XFS, ext4)
+set the per-I/O overhead and the parallel-stream behaviour.
+
+Two access granularities, as everywhere in the library:
+
+* :meth:`FileHandle.read` / :meth:`FileHandle.write` — event-level,
+  moving real bytes when the device stores them;
+* :meth:`FileSystem.streaming_spec` — the fluid per-byte path of a
+  sequential file stream (device path + cache copy + fs overhead),
+  composed by applications into end-to-end flows.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kernel.process import SimThread
+from repro.kernel.work import PathSpec, WorkItem, build_thread_path, merge_paths
+from repro.sim.context import Context
+from repro.sim.engine import Event
+from repro.storage.blockdev import BlockDevice, IoRequest
+from repro.fs.pagecache import PageCache
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["FileSystem", "FileHandle", "O_RDONLY", "O_RDWR", "O_DIRECT"]
+
+O_RDONLY = 0x0
+O_RDWR = 0x2
+O_DIRECT = 0x4000
+
+#: default page-cache size per mount (front-end hosts have 128 GB; the
+#: kernel will happily use a large fraction for cache).
+DEFAULT_CACHE_BYTES = 8 << 30
+
+
+@dataclass
+class Extent:
+    """A contiguous run of device blocks backing part of a file."""
+
+    file_offset: int
+    device_offset: int
+    length: int
+
+
+class Inode:
+    """File metadata + extent list."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.size = 0
+        self.extents: list[Extent] = []
+
+    def map_range(self, offset: int, length: int) -> list[tuple[int, int]]:
+        """Translate a file byte range to (device_offset, length) runs."""
+        if offset + length > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset+length}) beyond EOF {self.size} of {self.path!r}"
+            )
+        runs = []
+        remaining = length
+        pos = offset
+        for ext in self.extents:
+            if remaining == 0:
+                break
+            end = ext.file_offset + ext.length
+            if pos < ext.file_offset or pos >= end:
+                continue
+            take = min(remaining, end - pos)
+            runs.append((ext.device_offset + (pos - ext.file_offset), take))
+            pos += take
+            remaining -= take
+        if remaining:
+            raise ValueError(f"unmapped range in {self.path!r} (corrupt extent list)")
+        return runs
+
+
+class FileSystem(abc.ABC):
+    """Base filesystem: format, create, open, and the streaming cost model."""
+
+    #: human name, e.g. "xfs"
+    fstype = "fs"
+
+    def __init__(
+        self,
+        ctx: Context,
+        device: BlockDevice,
+        name: str = "",
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
+        self.ctx = ctx
+        self.device = device
+        self.name = name or f"{device.name}/{self.fstype}"
+        self.cache = PageCache(ctx, cache_bytes, f"{self.name}/cache")
+        self._inodes: Dict[str, Inode] = {}
+        self._next_free = 0  # simple bump allocator over the device
+
+    # -- overridables -----------------------------------------------------------
+    @abc.abstractmethod
+    def per_io_cpu(self) -> float:
+        """Fixed CPU seconds per I/O (journal/allocation bookkeeping)."""
+
+    @abc.abstractmethod
+    def max_parallel_streams(self) -> int:
+        """How many streams the on-disk layout serves without serializing."""
+
+    # -- namespace ----------------------------------------------------------------
+    def create(self, path: str, size: int) -> Inode:
+        """Create a fully-allocated file (fallocate semantics)."""
+        check_positive("size", size)
+        if path in self._inodes:
+            raise FileExistsError(path)
+        if self._next_free + size > self.device.capacity_bytes:
+            raise OSError(f"no space on {self.name!r} for {path!r} ({size} bytes)")
+        inode = Inode(path)
+        inode.extents.append(
+            Extent(file_offset=0, device_offset=self._next_free, length=size)
+        )
+        inode.size = size
+        self._next_free += size
+        self._inodes[path] = inode
+        return inode
+
+    def open(self, path: str, flags: int = O_RDONLY) -> "FileHandle":
+        """Open an existing entry."""
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise FileNotFoundError(path)
+        return FileHandle(self, inode, flags)
+
+    def exists(self, path: str) -> bool:
+        """True if the path exists."""
+        return path in self._inodes
+
+    def listdir(self) -> list[str]:
+        """Sorted list of paths."""
+        return sorted(self._inodes)
+
+    def stat_size(self, path: str) -> int:
+        """Size in bytes of the named file."""
+        inode = self._inodes.get(path)
+        if inode is None:
+            raise FileNotFoundError(path)
+        return inode.size
+
+    # -- fluid cost model --------------------------------------------------------------
+    def streaming_spec(
+        self,
+        is_write: bool,
+        thread: SimThread,
+        block_size: int,
+        direct: bool = False,
+        n_streams: int = 1,
+        include_device: bool = True,
+    ) -> PathSpec:
+        """Per-byte path of one sequential stream through this filesystem.
+
+        ``n_streams`` is the number of concurrent streams the application
+        runs against this mount; past :meth:`max_parallel_streams` the
+        layout serializes and each stream's cap shrinks proportionally
+        (ext4's journal vs XFS's allocation groups).
+
+        ``include_device=False`` returns only the filesystem-level work
+        (cache copy + bookkeeping) — used by single-threaded applications
+        (GridFTP) that must account the device wait *serially* with their
+        own per-byte costs rather than as a pipelined stage.
+        """
+        check_positive("n_streams", n_streams)
+        fs_items = [
+            WorkItem("fs bookkeeping", per_op_cpu=self.per_io_cpu(), category="io")
+        ]
+        fs_items += self.cache.streaming_items(thread, is_write, direct)
+        spec = build_thread_path(thread, fs_items, op_size=block_size)
+        if include_device:
+            dev_spec = self.device.bulk_path(is_write, thread, block_size)
+            spec = merge_paths(spec, dev_spec)
+        # Journal/allocator serialization binds only buffered I/O: direct
+        # I/O into preallocated extents never takes the allocation or
+        # journal locks (which is why raw/ext4/XFS are "comparable" for
+        # RFTP in §4.3 while GridFTP's buffered writes are not).
+        if not direct:
+            overcommit = n_streams / self.max_parallel_streams()
+            if overcommit > 1.0 and spec.cap is not None:
+                spec.cap /= overcommit
+        return spec
+
+
+class FileHandle:
+    """An open file: positional read/write via the device (event-level)."""
+
+    def __init__(self, fs: FileSystem, inode: Inode, flags: int):
+        self.fs = fs
+        self.inode = inode
+        self.flags = flags
+        self.pos = 0
+
+    @property
+    def direct(self) -> bool:
+        """True for O_DIRECT handles (page cache bypassed)."""
+        return bool(self.flags & O_DIRECT)
+
+    @property
+    def path(self) -> str:
+        """The file's path."""
+        return self.inode.path
+
+    @property
+    def size(self) -> int:
+        """Size in bytes."""
+        return self.inode.size
+
+    def seek(self, pos: int) -> None:
+        """Set the file position."""
+        check_non_negative("pos", pos)
+        self.pos = pos
+
+    def _io(
+        self,
+        is_write: bool,
+        length: int,
+        data: Optional[np.ndarray],
+        thread: Optional[SimThread],
+    ) -> Event:
+        if is_write and not (self.flags & O_RDWR):
+            raise PermissionError(f"{self.path!r} opened read-only")
+        runs = self.inode.map_range(self.pos, length)
+        if not self.direct:
+            self.fs.cache.access_range(self.pos, length, dirty=is_write)
+        done = self.fs.ctx.sim.event(name=f"{self.path}/io")
+        start_pos = self.pos
+        self.pos += length
+
+        def go():
+            moved = 0
+            for dev_off, run_len in runs:
+                chunk = None
+                if data is not None:
+                    chunk = data[moved : moved + run_len]
+                req = IoRequest(is_write, offset=dev_off, length=run_len, data=chunk)
+                yield self.fs.device.submit(req, thread=thread)
+                moved += run_len
+            done.succeed(length)
+
+        self.fs.ctx.sim.process(go(), name=f"{self.path}/io")
+        return done
+
+    def read(
+        self,
+        length: int,
+        data: Optional[np.ndarray] = None,
+        thread: Optional[SimThread] = None,
+    ) -> Event:
+        """Read *length* bytes at the current position."""
+        return self._io(False, length, data, thread)
+
+    def write(
+        self,
+        data_or_length,
+        thread: Optional[SimThread] = None,
+    ) -> Event:
+        """Write bytes (an array) or a byte count at the current position."""
+        if isinstance(data_or_length, (int, np.integer)):
+            return self._io(True, int(data_or_length), None, thread)
+        data = np.ascontiguousarray(data_or_length, dtype=np.uint8)
+        return self._io(True, len(data), data, thread)

@@ -1,0 +1,29 @@
+"""Hardware model: NUMA machines, memory, caches, PCIe and NICs.
+
+The machine model turns the paper's testbed hosts (Table 1) into fluid
+resources: per-node memory bandwidth, the inter-socket (QPI) link, PCIe
+slots and per-node CPU capacity.  Everything above (OS, network, storage)
+expresses its work as flows over these resources.
+"""
+
+from repro.hw.cache import CoherenceCosts, MesiCache, MesiState, coherence_costs
+from repro.hw.nic import Nic, NicKind
+from repro.hw.presets import backend_lan_host, frontend_lan_host, wan_host
+from repro.hw.topology import Core, Machine, MemoryBank, PcieSlot, Socket
+
+__all__ = [
+    "Machine",
+    "Socket",
+    "Core",
+    "MemoryBank",
+    "PcieSlot",
+    "Nic",
+    "NicKind",
+    "MesiCache",
+    "MesiState",
+    "CoherenceCosts",
+    "coherence_costs",
+    "frontend_lan_host",
+    "backend_lan_host",
+    "wan_host",
+]

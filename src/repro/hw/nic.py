@@ -1,0 +1,107 @@
+"""Network interface cards: RoCE and InfiniBand adapters.
+
+A :class:`Nic` sits in a PCIe slot of a :class:`~repro.hw.topology.Machine`
+and will later be cabled to a :class:`~repro.net.link.Link` by the network
+layer.  Its job here is to provide the *DMA path*: the fluid resources a
+byte crosses between host memory and the wire — PCIe slot plus the memory
+bank (crossing QPI if the buffer lives on the other node, which is exactly
+the placement the paper's NUMA tuning avoids).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.hw.topology import Machine, PcieSlot
+from repro.sim.fluid import FluidResource
+from repro.util.units import gbps
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.link import Link
+
+__all__ = ["NicKind", "Nic"]
+
+
+class NicKind(enum.Enum):
+    """Adapter families: the paper's testbed NICs (Table 1) plus the
+    100 GbE generation its ref [5] anticipates."""
+
+    ROCE_QDR = "RoCE QDR 40Gbps"
+    IB_FDR = "IB FDR 56Gbps"
+    ROCE_100G = "RoCE 100GbE"
+
+    @property
+    def line_rate(self) -> float:
+        """Signalling rate in bytes/second."""
+        return {
+            NicKind.ROCE_QDR: gbps(40.0),
+            NicKind.IB_FDR: gbps(56.0),
+            NicKind.ROCE_100G: gbps(100.0),
+        }[self]
+
+    @property
+    def is_roce(self) -> bool:
+        """True for the Ethernet (RoCE) family, False for InfiniBand."""
+        return self is not NicKind.IB_FDR
+
+
+class Nic:
+    """One RDMA-capable adapter."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        slot: PcieSlot,
+        kind: NicKind,
+        mtu: int = 9000,
+        name: str = "",
+    ):
+        if slot.device is not None:
+            raise ValueError(f"PCIe slot {slot.index} already occupied")
+        self.machine = machine
+        self.slot = slot
+        self.kind = kind
+        self.mtu = mtu
+        self.name = name or f"{machine.name}/nic{slot.index}"
+        self.link: Optional["Link"] = None
+        slot.device = self
+
+    @property
+    def node(self) -> int:
+        """The NUMA node the adapter is local to."""
+        return self.slot.socket
+
+    @property
+    def line_rate(self) -> float:
+        """Signalling rate in bytes/second."""
+        return self.kind.line_rate
+
+    def data_rate(self) -> float:
+        """Line rate after encoding/framing efficiency (calibrated)."""
+        cal = self.machine.ctx.cal
+        if self.kind is NicKind.IB_FDR:
+            return cal.derived_ib_data_rate()
+        eff = (cal.roce_mtu9000_efficiency if self.mtu >= 9000
+               else cal.roce_mtu1500_efficiency)
+        return self.kind.line_rate * eff
+
+    # -- DMA paths ------------------------------------------------------------
+    def dma_read_path(
+        self, buffer_node: int, traffic: float = 1.0
+    ) -> list[tuple[FluidResource, float]]:
+        """Host memory -> wire: PCIe 'to device' plus the memory read."""
+        path = [(self.slot.to_device, 1.0)]
+        path += self.machine.mem_path(self.node, buffer_node, traffic)
+        return path
+
+    def dma_write_path(
+        self, buffer_node: int, traffic: float = 1.0
+    ) -> list[tuple[FluidResource, float]]:
+        """Wire -> host memory: PCIe 'from device' plus the memory write."""
+        path = [(self.slot.from_device, 1.0)]
+        path += self.machine.mem_path(self.node, buffer_node, traffic)
+        return path
+
+    def __repr__(self) -> str:
+        return f"<Nic {self.name!r} {self.kind.value} node={self.node}>"

@@ -1,0 +1,88 @@
+"""Testbed host presets from Table 1 of the paper.
+
+Three host classes:
+
+* **Front-end LAN** — IBM X3650 M4 class: 2 x Intel Xeon E5-2660 (2.2 GHz,
+  16 cores total), 128 GB, three 40 Gbps RoCE QDR adapters.
+* **Back-end LAN** — 2 x Intel Xeon E5-2650 (2.0 GHz, 16 cores), 384 GB
+  (the borrowed 768 GB DIMM configuration backs the tmpfs store), two
+  56 Gbps IB FDR adapters.
+* **WAN** — ANI testbed hosts: Intel Xeon E5-2670 (2.9 GHz, 12 cores
+  across 2 nodes), 64 GB, one 40 Gbps RoCE QDR adapter.
+
+NIC socket placement follows the paper's Figure 2 layout: adapters are
+distributed across sockets so that NUMA-aware binding can route each
+link's traffic through its local node.
+"""
+
+from __future__ import annotations
+
+from repro.hw.nic import Nic, NicKind
+from repro.hw.topology import Machine
+from repro.sim.context import Context
+
+__all__ = ["frontend_lan_host", "backend_lan_host", "wan_host"]
+
+
+def frontend_lan_host(ctx: Context, name: str, with_ib: bool = False) -> Machine:
+    """Front-end LAN host: 16 cores / 2 nodes / 128 GB / 3 x RoCE QDR.
+
+    With ``with_ib=True`` the host additionally carries the two IB FDR
+    adapters it uses as an iSER initiator toward the back-end SAN
+    (the Figure 5 end-to-end layout).
+    """
+    pcie = (0, 1, 0) + ((0, 1) if with_ib else ())
+    machine = Machine(
+        ctx,
+        name,
+        n_sockets=2,
+        cores_per_socket=8,
+        ghz=2.2,
+        mem_bytes_per_node=64 << 30,
+        pcie_sockets=pcie,
+    )
+    for slot in machine.pcie_slots[:3]:
+        Nic(machine, slot, NicKind.ROCE_QDR, mtu=9000)
+    for slot in machine.pcie_slots[3:]:
+        Nic(machine, slot, NicKind.IB_FDR, mtu=65520)
+    return machine
+
+
+def backend_lan_host(ctx: Context, name: str) -> Machine:
+    """Back-end SAN host: 16 cores / 2 nodes / 384 GB / 2 x IB FDR."""
+    machine = Machine(
+        ctx,
+        name,
+        n_sockets=2,
+        cores_per_socket=8,
+        ghz=2.0,
+        mem_bytes_per_node=192 << 30,
+        pcie_sockets=(0, 1),  # one FDR adapter per socket (Fig. 2)
+    )
+    for slot in machine.pcie_slots:
+        Nic(machine, slot, NicKind.IB_FDR, mtu=65520)
+    return machine
+
+
+def wan_host(ctx: Context, name: str, with_ib: bool = False) -> Machine:
+    """ANI WAN host: 12 cores / 2 nodes / 64 GB / 1 x RoCE QDR.
+
+    ``with_ib=True`` adds two IB FDR adapters for the hypothetical
+    full-end-to-end WAN deployment the paper argues for in §4.4 but
+    could not build ("we cannot relocate our entire testbed system to
+    the point of presence site").
+    """
+    pcie = (0,) + ((0, 1) if with_ib else ())
+    machine = Machine(
+        ctx,
+        name,
+        n_sockets=2,
+        cores_per_socket=6,
+        ghz=2.9,
+        mem_bytes_per_node=32 << 30,
+        pcie_sockets=pcie,
+    )
+    Nic(machine, machine.pcie_slots[0], NicKind.ROCE_QDR, mtu=9000)
+    for slot in machine.pcie_slots[1:]:
+        Nic(machine, slot, NicKind.IB_FDR, mtu=65520)
+    return machine

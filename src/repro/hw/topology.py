@@ -1,0 +1,225 @@
+"""NUMA machine topology: sockets, cores, memory banks, interconnect, PCIe.
+
+A :class:`Machine` owns the fluid resources for one host:
+
+* one memory-bandwidth resource per NUMA node (STREAM-calibrated),
+* one inter-socket (QPI) resource per direction,
+* one CPU resource per NUMA node, capacity in core-seconds/second,
+* one PCIe resource per slot per direction.
+
+Components above express their memory traffic via :meth:`Machine.mem_path`,
+which routes local accesses to the local bank and remote accesses across
+QPI (with the remote-access derating the paper's tuning removes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Optional
+
+from repro.sim.context import Context
+from repro.sim.fluid import FluidResource
+from repro.util.validation import check_index, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hw.nic import Nic
+
+__all__ = ["Core", "Socket", "MemoryBank", "PcieSlot", "Machine"]
+
+
+@dataclass(frozen=True)
+class Core:
+    """One CPU core."""
+
+    index: int
+    socket: int
+
+
+@dataclass
+class MemoryBank:
+    """The memory attached to one NUMA node."""
+
+    node: int
+    size_bytes: int
+    bandwidth: FluidResource
+
+
+@dataclass
+class Socket:
+    """One CPU package: cores plus its local memory bank."""
+
+    index: int
+    cores: tuple[Core, ...]
+    memory: MemoryBank
+    cpu: FluidResource  # capacity = len(cores) core-seconds/second
+    ghz: float = 2.0
+
+    @property
+    def n_cores(self) -> int:
+        """Number of CPU cores."""
+        return len(self.cores)
+
+
+@dataclass
+class PcieSlot:
+    """A PCIe slot with socket affinity and per-direction bandwidth."""
+
+    index: int
+    socket: int
+    to_device: FluidResource  # DMA reads (host memory -> device)
+    from_device: FluidResource  # DMA writes (device -> host memory)
+    device: Optional["Nic"] = None
+
+
+class Machine:
+    """A NUMA host assembled from fluid resources.
+
+    Parameters mirror Table 1 of the paper.  ``pcie_sockets`` gives the
+    socket affinity of each PCIe slot (one NIC per slot).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        name: str,
+        *,
+        n_sockets: int = 2,
+        cores_per_socket: int = 8,
+        ghz: float = 2.2,
+        mem_bytes_per_node: int = 64 << 30,
+        pcie_sockets: Iterable[int] = (),
+        mem_bandwidth_per_node: Optional[float] = None,
+        qpi_bandwidth: Optional[float] = None,
+    ):
+        check_positive("n_sockets", n_sockets)
+        check_positive("cores_per_socket", cores_per_socket)
+        cal = ctx.cal
+        self.ctx = ctx
+        self.name = name
+        mem_bw = (
+            mem_bandwidth_per_node
+            if mem_bandwidth_per_node is not None
+            else cal.mem_bandwidth_per_node
+        )
+        qpi_bw = qpi_bandwidth if qpi_bandwidth is not None else cal.qpi_bandwidth
+
+        self.sockets: list[Socket] = []
+        core_index = 0
+        for s in range(n_sockets):
+            cores = tuple(
+                Core(index=core_index + i, socket=s) for i in range(cores_per_socket)
+            )
+            core_index += cores_per_socket
+            mem_res = FluidResource(ctx.fluid, mem_bw, f"{name}/mem{s}")
+            mem_res.kind = "mem"  # type: ignore[attr-defined]
+            bank = MemoryBank(
+                node=s,
+                size_bytes=mem_bytes_per_node,
+                bandwidth=mem_res,
+            )
+            cpu = FluidResource(
+                ctx.fluid, float(cores_per_socket), f"{name}/cpu{s}"
+            )
+            cpu.kind = "cpu"  # type: ignore[attr-defined]
+            self.sockets.append(
+                Socket(index=s, cores=cores, memory=bank, cpu=cpu, ghz=ghz)
+            )
+
+        # One QPI resource per ordered socket pair direction.  For the
+        # two-socket machines of the paper this is two resources.
+        self._qpi: dict[tuple[int, int], FluidResource] = {}
+        for a in range(n_sockets):
+            for b in range(n_sockets):
+                if a != b:
+                    qpi = FluidResource(ctx.fluid, qpi_bw, f"{name}/qpi{a}->{b}")
+                    qpi.kind = "qpi"  # type: ignore[attr-defined]
+                    self._qpi[(a, b)] = qpi
+
+        self.pcie_slots: list[PcieSlot] = []
+        for i, sock in enumerate(pcie_sockets):
+            check_index("pcie socket", sock, n_sockets)
+            tx = FluidResource(ctx.fluid, cal.pcie_gen3_x8_bandwidth, f"{name}/pcie{i}.tx")
+            rx = FluidResource(ctx.fluid, cal.pcie_gen3_x8_bandwidth, f"{name}/pcie{i}.rx")
+            tx.kind = "pcie"  # type: ignore[attr-defined]
+            rx.kind = "pcie"  # type: ignore[attr-defined]
+            self.pcie_slots.append(
+                PcieSlot(index=i, socket=sock, to_device=tx, from_device=rx)
+            )
+
+    # -- queries ------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Number of NUMA nodes."""
+        return len(self.sockets)
+
+    @property
+    def n_cores(self) -> int:
+        """Number of CPU cores."""
+        return sum(s.n_cores for s in self.sockets)
+
+    @property
+    def total_memory_bytes(self) -> int:
+        """Installed memory across all banks."""
+        return sum(s.memory.size_bytes for s in self.sockets)
+
+    def socket_of_core(self, core: int) -> int:
+        """The socket index owning a core."""
+        check_index("core", core, self.n_cores)
+        return core // self.sockets[0].n_cores
+
+    def numa_distance(self, a: int, b: int) -> int:
+        """Linux-convention NUMA distance (10 local, 21 remote)."""
+        check_index("node a", a, self.n_nodes)
+        check_index("node b", b, self.n_nodes)
+        return 10 if a == b else 21
+
+    def cpu_resource(self, node: int) -> FluidResource:
+        """The node's CPU fluid resource (capacity = cores)."""
+        check_index("node", node, self.n_nodes)
+        return self.sockets[node].cpu
+
+    def mem_bank(self, node: int) -> MemoryBank:
+        """The node's memory bank."""
+        check_index("node", node, self.n_nodes)
+        return self.sockets[node].memory
+
+    def qpi(self, src: int, dst: int) -> FluidResource:
+        """The directed interconnect resource between two sockets."""
+        if src == dst:
+            raise ValueError("QPI link requires distinct sockets")
+        return self._qpi[(src, dst)]
+
+    # -- path builders -----------------------------------------------------
+    def mem_path(
+        self, from_node: int, mem_node: int, traffic: float = 1.0
+    ) -> list[tuple[FluidResource, float]]:
+        """Resource path of a memory access stream.
+
+        ``traffic`` is memory-system bytes per payload byte (1 for a pure
+        read/DMA touch, ``cal.copy_traffic_factor`` for a copy).  Remote
+        accesses cross QPI and are derated (they occupy the interconnect
+        longer per byte than its nominal capacity suggests).
+        """
+        check_positive("traffic", traffic)
+        bank = self.mem_bank(mem_node).bandwidth
+        if from_node == mem_node:
+            return [(bank, traffic)]
+        cal = self.ctx.cal
+        return [
+            (self.qpi(from_node, mem_node), traffic / cal.remote_access_derate),
+            (bank, traffic / cal.remote_bank_derate),
+        ]
+
+    def cpu_path(
+        self, node: int, seconds_per_byte: float
+    ) -> list[tuple[FluidResource, float]]:
+        """Resource path charging CPU time on *node* per payload byte."""
+        check_positive("seconds_per_byte", seconds_per_byte)
+        return [(self.cpu_resource(node), seconds_per_byte)]
+
+    def __repr__(self) -> str:
+        return (
+            f"<Machine {self.name!r} {self.n_nodes} nodes x "
+            f"{self.sockets[0].n_cores} cores, "
+            f"{self.total_memory_bytes >> 30} GiB>"
+        )

@@ -1,0 +1,36 @@
+"""Operating-system model: scheduling, NUMA policy, pages, accounting.
+
+The paper's tuning story is an OS story: the default Linux scheduler and
+first-touch allocator spread threads and pages across NUMA nodes, while
+``numactl`` binding pins each worker and its memory to one node.  This
+package models exactly that surface:
+
+* :mod:`repro.kernel.accounting` — getrusage/perf-style CPU accounting,
+* :mod:`repro.kernel.numa` — numactl/libnuma-like policy API,
+* :mod:`repro.kernel.pages` — page placement for memory regions,
+* :mod:`repro.kernel.process` — simulated processes/threads and binding,
+* :mod:`repro.kernel.work` — compiles a thread's per-byte work into fluid
+  flow paths (the bridge between OS-level description and the simulator),
+* :mod:`repro.kernel.interrupts` — NIC interrupt cost placement.
+"""
+
+from repro.kernel.accounting import CpuAccount, CpuAccounting
+from repro.kernel.numa import NumaPolicy, NumaPolicyKind, numactl
+from repro.kernel.pages import RegionPlacement, place_region
+from repro.kernel.process import SimProcess, SimThread
+from repro.kernel.work import PathSpec, WorkItem, build_thread_path
+
+__all__ = [
+    "CpuAccount",
+    "CpuAccounting",
+    "NumaPolicy",
+    "NumaPolicyKind",
+    "numactl",
+    "RegionPlacement",
+    "place_region",
+    "SimProcess",
+    "SimThread",
+    "WorkItem",
+    "PathSpec",
+    "build_thread_path",
+]

@@ -1,0 +1,123 @@
+"""CPU-time accounting in the style of getrusage(2) and perf(1).
+
+The paper reports CPU cost as "percent of one fully-utilized core"
+(Fig. 4 note), split into categories: user-space protocol processing,
+kernel protocol processing, user<->kernel data copies, data loading,
+data offloading, interrupt handling.  :class:`CpuAccounting` accumulates
+core-seconds per category (fluid flows debit it via their ``charges``)
+and converts to the paper's percent-of-a-core representation over a
+measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable
+
+__all__ = ["CpuAccount", "CpuAccounting", "CATEGORIES"]
+
+#: Canonical cost categories used across the figures.
+CATEGORIES = (
+    "usr_proto",  # user-space protocol processing (RFTP descriptors, iperf loop)
+    "sys_proto",  # kernel TCP/IP stack processing
+    "copy",       # user<->kernel / page-cache data copies
+    "load",       # data loading (/dev/zero fill, file reads)
+    "offload",    # data offloading (/dev/null dump, file writes)
+    "irq",        # interrupt/softirq handling
+    "coherence",  # cache-coherence stalls (NUMA write invalidations)
+    "io",         # block-I/O submission/completion handling
+)
+
+
+@dataclass
+class CpuAccount:
+    """A single category accumulator (satisfies the fluid ChargeAccount)."""
+
+    name: str
+    seconds: float = 0.0
+
+    def add(self, amount: float) -> None:
+        """Accumulate an amount."""
+        if amount < 0:
+            raise ValueError(f"negative charge on {self.name!r}: {amount}")
+        self.seconds += amount
+
+
+class CpuAccounting:
+    """Per-entity (thread/process/host) CPU time ledger."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self._accounts: Dict[str, CpuAccount] = {}
+        self._window_start = 0.0
+        self._window_snapshot: Dict[str, float] = {}
+
+    def account(self, category: str) -> CpuAccount:
+        """The accumulator for *category* (created on first use)."""
+        acct = self._accounts.get(category)
+        if acct is None:
+            acct = CpuAccount(category)
+            self._accounts[category] = acct
+        return acct
+
+    def add(self, category: str, seconds: float) -> None:
+        """Directly add CPU seconds to a category."""
+        self.account(category).add(seconds)
+
+    # -- totals ----------------------------------------------------------------
+    @property
+    def total_seconds(self) -> float:
+        """Sum of CPU seconds across categories."""
+        return sum(a.seconds for a in self._accounts.values())
+
+    def seconds_by_category(self) -> Dict[str, float]:
+        """CPU seconds per accounting category."""
+        return {k: a.seconds for k, a in self._accounts.items()}
+
+    def user_seconds(self) -> float:
+        """Time the paper would report as 'usr'."""
+        usr = ("usr_proto", "load", "offload")
+        return sum(self._accounts[k].seconds for k in usr if k in self._accounts)
+
+    def system_seconds(self) -> float:
+        """Time the paper would report as 'sys'."""
+        sys_ = ("sys_proto", "copy", "irq", "coherence", "io")
+        return sum(self._accounts[k].seconds for k in sys_ if k in self._accounts)
+
+    # -- windowed utilization -------------------------------------------------
+    def begin_window(self, now: float) -> None:
+        """Mark the start of a measurement window."""
+        self._window_start = now
+        self._window_snapshot = self.seconds_by_category()
+
+    def utilization(self, now: float) -> Dict[str, float]:
+        """Percent-of-one-core per category since :meth:`begin_window`.
+
+        Matches the paper's convention: 122.0 means 1.22 fully-used cores.
+        """
+        wall = now - self._window_start
+        if wall <= 0:
+            return {k: 0.0 for k in self._accounts}
+        out = {}
+        for k, acct in self._accounts.items():
+            base = self._window_snapshot.get(k, 0.0)
+            out[k] = 100.0 * (acct.seconds - base) / wall
+        return out
+
+    def total_utilization(self, now: float) -> float:
+        """Total percent-of-one-core over the current window."""
+        return sum(self.utilization(now).values())
+
+    def merged(self, others: Iterable["CpuAccounting"]) -> "CpuAccounting":
+        """A new ledger summing this one with *others*."""
+        out = CpuAccounting(self.name)
+        for src in (self, *others):
+            for k, v in src.seconds_by_category().items():
+                out.add(k, v)
+        return out
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{k}={v:.3f}s" for k, v in sorted(self.seconds_by_category().items())
+        )
+        return f"<CpuAccounting {self.name!r} {parts}>"

@@ -1,0 +1,47 @@
+"""NIC interrupt / softirq cost placement.
+
+TCP receive (and to a lesser degree transmit-completion) processing runs
+in softirq context on the CPU that services the NIC's interrupt vector.
+Under default ``irqbalance`` the vector may land on either socket; with
+NUMA tuning it is steered to the NIC-local node.  RDMA traffic bypasses
+per-packet interrupts (completions are coalesced events polled from the
+CQ), which is part of its CPU advantage (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.nic import Nic
+from repro.kernel.accounting import CpuAccounting
+from repro.kernel.work import PathSpec
+
+__all__ = ["irq_path"]
+
+
+def irq_path(
+    nic: Nic,
+    accounting: CpuAccounting,
+    tuned: bool,
+    rate_per_core: float,
+) -> PathSpec:
+    """Per-byte interrupt-processing path for TCP traffic on *nic*.
+
+    ``rate_per_core`` is bytes/second one core can service (calibrated
+    as ``cal.tcp_interrupt_rate``).  Untuned, the vector floats across
+    nodes (uniform split); tuned, it is pinned to the NIC's node.
+    """
+    if rate_per_core <= 0:
+        raise ValueError(f"rate_per_core must be > 0, got {rate_per_core}")
+    machine = nic.machine
+    per_byte = 1.0 / rate_per_core
+    fracs: Dict[int, float]
+    if tuned:
+        fracs = {nic.node: 1.0}
+    else:
+        fracs = {n: 1.0 / machine.n_nodes for n in range(machine.n_nodes)}
+    spec = PathSpec()
+    for node, f in fracs.items():
+        spec.path.append((machine.cpu_resource(node), f * per_byte))
+    spec.charges.append((accounting.account("irq"), per_byte))
+    return spec

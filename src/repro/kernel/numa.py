@@ -1,0 +1,160 @@
+"""NUMA policy: the model's ``numactl`` / libnuma surface.
+
+The paper compares two regimes (§3.1, §4.2):
+
+* **default** — the stock Linux scheduler migrates threads freely and
+  first-touch allocation follows wherever a thread happened to run, so
+  on a two-node host roughly half of all accesses land remote;
+* **bound** — ``numactl --cpunodebind=N --membind=N`` pins a process's
+  threads and pages to one node ("we only implement the former solution",
+  i.e. static numactl binding rather than libnuma integration).
+
+:class:`NumaPolicy` captures one process's policy; :func:`numactl` mirrors
+the command-line tool's semantics over a :class:`~repro.kernel.process.SimProcess`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.kernel.process import SimProcess
+
+__all__ = ["NumaPolicyKind", "NumaPolicy", "numactl"]
+
+
+class NumaPolicyKind(enum.Enum):
+    """Memory/CPU placement policy kinds (mirrors mbind/set_mempolicy)."""
+
+    DEFAULT = "default"  # first-touch, threads migrate
+    BIND = "bind"  # memory and CPUs restricted to given nodes
+    INTERLEAVE = "interleave"  # pages round-robin across nodes
+    PREFERRED = "preferred"  # try one node, fall back
+    BIASED = "biased"  # untuned but NUMA-balanced: home node + drift
+
+
+@dataclass(frozen=True)
+class NumaPolicy:
+    """A process- or region-level NUMA policy."""
+
+    kind: NumaPolicyKind = NumaPolicyKind.DEFAULT
+    nodes: tuple[int, ...] = ()
+    #: BIASED only: share of execution time on the home node.
+    home_fraction: float = 0.7
+
+    def __post_init__(self):
+        if self.kind in (NumaPolicyKind.BIND, NumaPolicyKind.INTERLEAVE,
+                         NumaPolicyKind.PREFERRED, NumaPolicyKind.BIASED) \
+                and not self.nodes:
+            raise ValueError(f"{self.kind.value} policy requires nodes")
+        if self.kind in (NumaPolicyKind.PREFERRED, NumaPolicyKind.BIASED) \
+                and len(self.nodes) != 1:
+            raise ValueError(f"{self.kind.value} policy takes exactly one node")
+        if not (0.0 < self.home_fraction <= 1.0):
+            raise ValueError(f"home_fraction must be in (0, 1], got {self.home_fraction}")
+
+    # -- constructors ---------------------------------------------------------
+    @classmethod
+    def default(cls) -> "NumaPolicy":
+        """The stock (untuned) configuration."""
+        return cls(NumaPolicyKind.DEFAULT)
+
+    @classmethod
+    def bind(cls, *nodes: int) -> "NumaPolicy":
+        """Pin to the given node(s)."""
+        return cls(NumaPolicyKind.BIND, tuple(nodes))
+
+    @classmethod
+    def interleave(cls, *nodes: int) -> "NumaPolicy":
+        """Round-robin pages across the given nodes."""
+        return cls(NumaPolicyKind.INTERLEAVE, tuple(nodes))
+
+    @classmethod
+    def preferred(cls, node: int) -> "NumaPolicy":
+        """Prefer one node, fall back elsewhere."""
+        return cls(NumaPolicyKind.PREFERRED, (node,))
+
+    @classmethod
+    def biased(cls, home: int, home_fraction: float = 0.7) -> "NumaPolicy":
+        """Untuned long-running process after NUMA balancing settles:
+        mostly on *home*, occasionally migrated, pages migrated home."""
+        return cls(NumaPolicyKind.BIASED, (home,), home_fraction=home_fraction)
+
+    # -- semantics ------------------------------------------------------------
+    def execution_fractions(self, n_nodes: int) -> Dict[int, float]:
+        """Fraction of a thread's execution time spent on each node.
+
+        Under the default policy the scheduler migrates threads across all
+        nodes (uniform); under bind/preferred the thread stays put.
+        """
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        if self.kind is NumaPolicyKind.DEFAULT:
+            return {n: 1.0 / n_nodes for n in range(n_nodes)}
+        if self.kind is NumaPolicyKind.INTERLEAVE:
+            # interleave constrains memory, not CPUs; threads still roam
+            return {n: 1.0 / n_nodes for n in range(n_nodes)}
+        if self.kind is NumaPolicyKind.BIASED:
+            home = self.nodes[0]
+            if home >= n_nodes:
+                raise ValueError(f"home node {home} outside machine (n={n_nodes})")
+            if n_nodes == 1:
+                return {home: 1.0}
+            away = (1.0 - self.home_fraction) / (n_nodes - 1)
+            return {
+                n: (self.home_fraction if n == home else away)
+                for n in range(n_nodes)
+            }
+        nodes = [n for n in self.nodes if n < n_nodes]
+        if not nodes:
+            raise ValueError(f"policy nodes {self.nodes} outside machine (n={n_nodes})")
+        return {n: 1.0 / len(nodes) for n in nodes}
+
+    def allocation_fractions(
+        self, n_nodes: int, touch_node: Optional[int] = None
+    ) -> Dict[int, float]:
+        """Fraction of newly allocated pages landing on each node.
+
+        * default: first-touch — pages follow the toucher; with a migrating
+          toucher (``touch_node=None``) allocation is effectively uniform.
+        * bind/preferred: all pages on the policy nodes.
+        * interleave: round-robin across the policy nodes.
+        """
+        if self.kind is NumaPolicyKind.DEFAULT:
+            if touch_node is not None:
+                return {touch_node: 1.0}
+            return {n: 1.0 / n_nodes for n in range(n_nodes)}
+        if self.kind is NumaPolicyKind.INTERLEAVE:
+            nodes = [n for n in self.nodes if n < n_nodes]
+            return {n: 1.0 / len(nodes) for n in nodes}
+        if self.kind is NumaPolicyKind.BIASED:
+            # NUMA balancing migrates a long-lived process's pages home
+            return {self.nodes[0]: 1.0}
+        nodes = [n for n in self.nodes if n < n_nodes]
+        if not nodes:
+            raise ValueError(f"policy nodes {self.nodes} outside machine (n={n_nodes})")
+        return {n: 1.0 / len(nodes) for n in nodes}
+
+
+def numactl(
+    process: "SimProcess",
+    cpunodebind: Optional[Sequence[int]] = None,
+    membind: Optional[Sequence[int]] = None,
+    interleave: Optional[Sequence[int]] = None,
+) -> "SimProcess":
+    """Apply numactl-style binding to a simulated process (returns it).
+
+    Mirrors ``numactl --cpunodebind=... --membind=...`` — the exact tuning
+    mechanism the paper applies to iSER targets, RFTP and GridFTP.
+    """
+    if interleave is not None and membind is not None:
+        raise ValueError("--interleave and --membind are mutually exclusive")
+    if cpunodebind is not None:
+        process.cpu_policy = NumaPolicy.bind(*cpunodebind)
+    if membind is not None:
+        process.mem_policy = NumaPolicy.bind(*membind)
+    if interleave is not None:
+        process.mem_policy = NumaPolicy.interleave(*interleave)
+    return process

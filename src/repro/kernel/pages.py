@@ -1,0 +1,98 @@
+"""Page placement for memory regions.
+
+A :class:`RegionPlacement` records which fraction of a memory region's
+pages live on each NUMA node — the quantity the fluid model needs to
+split an access stream across memory banks.  :func:`place_region` derives
+it from a :class:`~repro.kernel.numa.NumaPolicy` (tmpfs ``mpol=`` mounts,
+first-touch, interleave...).
+
+For byte-exact experiments (the real datapath) a page-granular map is
+also provided via :meth:`RegionPlacement.page_nodes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.kernel.numa import NumaPolicy
+from repro.util.validation import check_positive
+
+__all__ = ["RegionPlacement", "place_region", "PAGE_SIZE"]
+
+#: x86-64 base page size.
+PAGE_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class RegionPlacement:
+    """Placement of one memory region across NUMA nodes."""
+
+    size_bytes: int
+    fractions: tuple[tuple[int, float], ...]  # (node, fraction), fractions sum to 1
+
+    def __post_init__(self):
+        total = sum(f for _, f in self.fractions)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"placement fractions sum to {total}, expected 1.0")
+        if any(f < 0 for _, f in self.fractions):
+            raise ValueError("placement fractions must be non-negative")
+
+    def node_fractions(self) -> Dict[int, float]:
+        """Share of the region on each NUMA node."""
+        return dict(self.fractions)
+
+    @property
+    def n_pages(self) -> int:
+        """Number of pages backing the region."""
+        return (self.size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def page_nodes(self, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """A concrete per-page node assignment consistent with fractions.
+
+        Deterministic round-robin-by-share unless an *rng* is supplied, in
+        which case pages are shuffled (modelling first-touch by a
+        migrating thread).
+        """
+        n = self.n_pages
+        nodes = np.empty(n, dtype=np.int32)
+        start = 0
+        items = sorted(self.fractions)
+        for i, (node, frac) in enumerate(items):
+            count = int(round(frac * n)) if i < len(items) - 1 else n - start
+            count = min(count, n - start)
+            nodes[start : start + count] = node
+            start += count
+        if rng is not None:
+            rng.shuffle(nodes)
+        return nodes
+
+    def dominant_node(self) -> int:
+        """The node holding the largest share of the region."""
+        return max(self.fractions, key=lambda nf: nf[1])[0]
+
+
+def place_region(
+    size_bytes: int,
+    policy: NumaPolicy,
+    n_nodes: int,
+    touch_node: Optional[int] = None,
+) -> RegionPlacement:
+    """Place a freshly allocated region under *policy*.
+
+    ``touch_node`` models first-touch: the node of the thread that faults
+    the pages in.  ``None`` means the toucher migrates (default scheduler),
+    spreading pages uniformly — the paper's untuned baseline.
+    """
+    check_positive("size_bytes", size_bytes)
+    fractions = policy.allocation_fractions(n_nodes, touch_node=touch_node)
+    return RegionPlacement(
+        size_bytes=size_bytes, fractions=tuple(sorted(fractions.items()))
+    )
+
+
+def remote_fraction(placement: RegionPlacement, accessor_node: int) -> float:
+    """Fraction of the region remote to a thread pinned on *accessor_node*."""
+    return sum(f for node, f in placement.fractions if node != accessor_node)

@@ -1,0 +1,146 @@
+"""Compile a thread's per-byte work into a fluid flow path.
+
+This is the bridge between OS-level descriptions ("this thread copies
+each byte user->kernel, runs the TCP stack, and the buffer is 50% remote")
+and the fluid scheduler's resource/weight language.
+
+A :class:`WorkItem` describes one serial stage of a thread's per-byte
+pipeline: its CPU cost (core-seconds/byte, put in a named accounting
+category), its memory-system traffic (which banks, how many bytes of
+traffic per payload byte), and optionally a fixed per-operation CPU cost
+amortized over the operation size (how block size affects efficiency).
+
+:func:`build_thread_path` turns a list of items into a :class:`PathSpec`:
+
+* CPU weights on the executing node(s), split by the thread's execution
+  fractions (migrating threads under the default policy charge all nodes);
+* memory weights routed locally or across QPI per the region placements;
+* a **serial-thread rate cap** of ``1 / total_cpu_seconds_per_byte`` —
+  a single thread cannot run its pipeline faster than one core allows.
+  This cap is what makes single-threaded movers (GridFTP) slow and
+  multi-threaded pipelined movers (RFTP) fast in the model;
+* accounting charges so CPU utilization reports match the paper's
+  getrusage/perf methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence
+
+from repro.kernel.process import SimThread
+from repro.sim.fluid import FluidResource
+from repro.util.validation import check_positive
+
+__all__ = ["WorkItem", "PathSpec", "build_thread_path", "merge_paths"]
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One serial per-byte stage executed by a thread."""
+
+    description: str
+    #: core-seconds of CPU per payload byte.
+    cpu_per_byte: float = 0.0
+    #: accounting category (see :data:`repro.kernel.accounting.CATEGORIES`).
+    category: str = "usr_proto"
+    #: memory traffic: ``(node_fractions, traffic_factor)`` tuples — the
+    #: banks touched (with their shares) and bytes of memory traffic per
+    #: payload byte (1 read, 3 copy with write-allocate, ...).  A
+    #: ``node_fractions`` of ``None`` means *execution-local* memory
+    #: (per-CPU slabs like TCP skbs): the traffic always lands on the
+    #: bank of whichever node the thread is currently running on.
+    mem_traffic: tuple[tuple[Optional[tuple[tuple[int, float], ...]], float], ...] = ()
+    #: fixed CPU per operation (amortized over the op size).
+    per_op_cpu: float = 0.0
+
+    @staticmethod
+    def mem(node_fractions: Dict[int, float], traffic_factor: float):
+        """Helper to build one ``mem_traffic`` entry."""
+        return (tuple(sorted(node_fractions.items())), traffic_factor)
+
+    @staticmethod
+    def mem_local(traffic_factor: float):
+        """An execution-local traffic entry (never crosses QPI)."""
+        return (None, traffic_factor)
+
+
+@dataclass
+class PathSpec:
+    """A compiled fluid path: resources, serial cap and charges."""
+
+    path: list[tuple[FluidResource, float]] = field(default_factory=list)
+    cap: Optional[float] = None
+    charges: list[tuple[object, float]] = field(default_factory=list)
+
+    def extend(self, extra: Sequence[tuple[FluidResource, float]]) -> "PathSpec":
+        """Append extra path entries; returns self."""
+        self.path.extend(extra)
+        return self
+
+    def with_cap(self, cap: Optional[float]) -> "PathSpec":
+        """Tighten the cap (keeps the smaller of the two)."""
+        if cap is not None:
+            self.cap = cap if self.cap is None else min(self.cap, cap)
+        return self
+
+
+def build_thread_path(
+    thread: SimThread,
+    items: Sequence[WorkItem],
+    op_size: Optional[float] = None,
+    n_threads: int = 1,
+) -> PathSpec:
+    """Compile *items* (executed serially by *thread*) into a path.
+
+    ``op_size`` amortizes each item's ``per_op_cpu``; required if any item
+    has one.  ``n_threads`` scales the serial cap for a team of identical
+    threads feeding one flow (RFTP's worker pool): the team's aggregate
+    pipeline rate is ``n_threads`` times one thread's.
+    """
+    check_positive("n_threads", n_threads)
+    machine = thread.machine
+    exec_fracs = thread.execution_fractions()
+
+    total_cpu = 0.0
+    spec = PathSpec()
+    for item in items:
+        per_byte = item.cpu_per_byte
+        if item.per_op_cpu:
+            if op_size is None:
+                raise ValueError(
+                    f"work item {item.description!r} has per_op_cpu but no op_size given"
+                )
+            per_byte += item.per_op_cpu / op_size
+        total_cpu += per_byte
+
+        if per_byte > 0:
+            for node, ef in exec_fracs.items():
+                spec.path.append((machine.cpu_resource(node), ef * per_byte))
+            spec.charges.append((thread.accounting.account(item.category), per_byte))
+
+        for node_fracs, traffic in item.mem_traffic:
+            for exec_node, ef in exec_fracs.items():
+                pairs = (
+                    ((exec_node, 1.0),) if node_fracs is None else node_fracs
+                )
+                for mem_node, mf in pairs:
+                    weight_scale = ef * mf
+                    if weight_scale <= 0:
+                        continue
+                    for res, w in machine.mem_path(exec_node, mem_node, traffic):
+                        spec.path.append((res, w * weight_scale))
+
+    if total_cpu > 0:
+        spec.cap = n_threads / total_cpu
+    return spec
+
+
+def merge_paths(*specs: PathSpec) -> PathSpec:
+    """Concatenate several specs (caps combine by minimum)."""
+    out = PathSpec()
+    for s in specs:
+        out.path.extend(s.path)
+        out.charges.extend(s.charges)
+        out.with_cap(s.cap)
+    return out

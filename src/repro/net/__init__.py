@@ -1,0 +1,23 @@
+"""Network layer: links, framing, topologies, and flow-level TCP.
+
+* :mod:`repro.net.link` — duplex links cabling two NICs, with per-direction
+  fluid capacity and propagation delay.
+* :mod:`repro.net.ethernet` — first-principles framing efficiency for
+  Ethernet/RoCE and InfiniBand MTUs.
+* :mod:`repro.net.topology` — LAN and WAN testbed wiring helpers.
+* :mod:`repro.net.tcp` — fluid cubic TCP with copy/kernel/interrupt costs.
+"""
+
+from repro.net.ethernet import ib_payload_efficiency, roce_payload_efficiency
+from repro.net.link import Link, Switch, connect
+from repro.net.tcp import TcpConnection, TcpStats
+
+__all__ = [
+    "Link",
+    "Switch",
+    "connect",
+    "TcpConnection",
+    "TcpStats",
+    "roce_payload_efficiency",
+    "ib_payload_efficiency",
+]

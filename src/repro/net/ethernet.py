@@ -1,0 +1,77 @@
+"""Framing efficiency from first principles.
+
+The fraction of a link's line rate available to upper-layer payload
+depends on per-frame overhead.  For RoCE (RDMA over Converged Ethernet,
+v1 framing as deployed on the paper's testbed):
+
+====================  =======
+field                 bytes
+====================  =======
+preamble + SFD        8
+Ethernet header       14
+(no VLAN on testbed)
+GRH/IB transport      40   (RoCEv1: GRH 40 after ethertype)
+BTH                   12
+payload               <= MTU - headers
+ICRC + FCS            8
+inter-frame gap       12
+====================  =======
+
+InfiniBand FDR additionally pays 64/66b encoding (the quoted 56 Gbps is
+the signalling rate; 54.24 Gbps is available to the link layer), with a
+4 KiB MTU and small LRH/BTH/CRC overheads.
+
+These functions are used to validate the calibrated efficiency constants
+(they should agree within a percent) and by the NIC model for non-default
+MTUs.
+"""
+
+from __future__ import annotations
+
+from repro.util.validation import check_positive
+
+__all__ = [
+    "roce_payload_efficiency",
+    "ib_payload_efficiency",
+    "ETHERNET_OVERHEAD",
+    "ROCE_HEADERS",
+]
+
+#: Wire overhead per Ethernet frame outside the MTU: preamble+SFD (8),
+#: FCS (4), inter-frame gap (12), Ethernet header (14).
+ETHERNET_OVERHEAD = 8 + 4 + 12 + 14
+
+#: RoCE headers carried inside the MTU: GRH (40) + BTH (12) + ICRC (4).
+ROCE_HEADERS = 40 + 12 + 4
+
+#: InfiniBand link-layer per-packet overhead: LRH(8)+GRH(0 local)+BTH(12)
+#: +VCRC/ICRC(6).
+IB_HEADERS = 8 + 12 + 6
+
+#: 64b/66b encoding efficiency (FDR, 10GBASE-R style).
+ENCODING_64B66B = 64.0 / 66.0
+
+
+def roce_payload_efficiency(mtu: int) -> float:
+    """Payload bytes per line-rate byte for RoCE at the given MTU."""
+    check_positive("mtu", mtu)
+    if mtu <= ROCE_HEADERS:
+        raise ValueError(f"mtu {mtu} too small for RoCE headers")
+    payload = mtu - ROCE_HEADERS
+    wire = mtu + ETHERNET_OVERHEAD
+    return payload / wire
+
+
+def ib_payload_efficiency(mtu: int = 4096) -> float:
+    """Payload bytes per signalling-rate byte for InfiniBand FDR.
+
+    Includes 64/66b encoding plus link headers at the given IB MTU
+    (the paper's ``MTU 65520`` is the IPoIB interface MTU; the wire MTU
+    of the HCA is 4096).
+    """
+    check_positive("mtu", mtu)
+    if mtu <= IB_HEADERS:
+        raise ValueError(f"mtu {mtu} too small for IB headers")
+    payload = mtu - IB_HEADERS
+    wire = mtu
+    return ENCODING_64B66B * payload / wire

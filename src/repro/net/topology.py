@@ -1,0 +1,83 @@
+"""Testbed wiring: the paper's LAN and WAN network layouts.
+
+* :func:`wire_frontend_lan` — three RoCE QDR links between the RFTP
+  client and server hosts (Fig. 5, bottom), 0.166 ms RTT.
+* :func:`wire_san` — two IB FDR links between an iSER initiator host
+  and its storage target through the FDR switch (Fig. 5, top),
+  0.144 ms RTT.
+* :func:`wire_wan` — the DOE ANI 40 Gbps RoCE loop, NERSC -> ANL ->
+  NERSC, 4000 miles, 95 ms RTT (Fig. 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.nic import Nic, NicKind
+from repro.hw.topology import Machine
+from repro.net.link import Link, Switch, connect
+from repro.sim.context import Context
+
+__all__ = ["wire_frontend_lan", "wire_san", "wire_wan", "SanWiring"]
+
+#: One-way delays matching Table 1 RTTs.
+LAN_ROCE_DELAY = 0.166e-3 / 2
+LAN_IB_DELAY = 0.144e-3 / 2
+WAN_DELAY = 95e-3 / 2
+
+
+def _nics(machine: Machine, kind: NicKind) -> list[Nic]:
+    return [
+        slot.device
+        for slot in machine.pcie_slots
+        if slot.device is not None and slot.device.kind is kind
+    ]
+
+
+def wire_frontend_lan(client: Machine, server: Machine) -> list[Link]:
+    """Cable each of the client's RoCE NICs to the server's (pairwise)."""
+    c_nics = _nics(client, NicKind.ROCE_QDR)
+    s_nics = _nics(server, NicKind.ROCE_QDR)
+    if len(c_nics) != len(s_nics):
+        raise ValueError(
+            f"RoCE NIC count mismatch: {len(c_nics)} vs {len(s_nics)}"
+        )
+    return [
+        connect(c, s, delay=LAN_ROCE_DELAY, name=f"roce{i}")
+        for i, (c, s) in enumerate(zip(c_nics, s_nics))
+    ]
+
+
+@dataclass
+class SanWiring:
+    """The back-end SAN fabric between one initiator and one target."""
+
+    switch: Switch
+    links: list[Link]
+
+
+def wire_san(ctx: Context, initiator: Machine, target: Machine) -> SanWiring:
+    """Cable the initiator's IB FDR NICs to the target's via the switch."""
+    i_nics = _nics(initiator, NicKind.IB_FDR)
+    t_nics = _nics(target, NicKind.IB_FDR)
+    if len(i_nics) != len(t_nics):
+        raise ValueError(
+            f"IB NIC count mismatch: {len(i_nics)} vs {len(t_nics)}"
+        )
+    switch = Switch(ctx, f"fdr-switch:{initiator.name}-{target.name}")
+    links = [
+        connect(a, b, delay=LAN_IB_DELAY, name=f"ib{i}")
+        for i, (a, b) in enumerate(zip(i_nics, t_nics))
+    ]
+    for link in links:
+        switch.attach(link)
+    return SanWiring(switch=switch, links=links)
+
+
+def wire_wan(sender: Machine, receiver: Machine) -> Link:
+    """The ANI 4000-mile RoCE loop between the two WAN hosts."""
+    s_nics = _nics(sender, NicKind.ROCE_QDR)
+    r_nics = _nics(receiver, NicKind.ROCE_QDR)
+    if not s_nics or not r_nics:
+        raise ValueError("WAN hosts need one RoCE NIC each")
+    return connect(s_nics[0], r_nics[0], delay=WAN_DELAY, name="ani-loop")

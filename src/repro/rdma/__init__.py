@@ -1,0 +1,41 @@
+"""RDMA verbs model: memory regions, queue pairs, completion queues.
+
+The model reproduces the two properties the paper's systems exploit:
+
+* **zero-copy** — RDMA data movement charges DMA (PCIe + memory-touch)
+  and link resources but *no CPU copy time*;
+* **offload** — no per-packet kernel processing or interrupts; only a
+  small per-work-request cost paid by the posting thread.
+
+Two granularities are offered:
+
+* per-work-request verbs (:meth:`QueuePair.post_send` & co.) with
+  event-level completions — used by control planes, the iSER datamover
+  and the real-byte integrity path;
+* :meth:`QueuePair.bulk_channel` — a long-lived fluid flow standing for a
+  pipelined stream of work requests, used for minutes-long 100 Gbps runs
+  where per-WR events would be wasteful.
+"""
+
+from repro.rdma.cm import ConnectionManager
+from repro.rdma.mr import MemoryRegion, ProtectionDomain
+from repro.rdma.verbs import (
+    Completion,
+    CompletionQueue,
+    Opcode,
+    QueuePair,
+    WorkRequest,
+    WrStatus,
+)
+
+__all__ = [
+    "MemoryRegion",
+    "ProtectionDomain",
+    "Opcode",
+    "WrStatus",
+    "WorkRequest",
+    "Completion",
+    "CompletionQueue",
+    "QueuePair",
+    "ConnectionManager",
+]

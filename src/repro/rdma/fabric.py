@@ -1,0 +1,81 @@
+"""Fluid-path construction for RDMA data movement.
+
+:func:`rdma_fluid_path` is the placement-level twin of
+:meth:`~repro.rdma.verbs.QueuePair.bulk_channel`: it builds the resource
+path of a pipelined RDMA stream directly from NUMA placements, without
+materializing memory regions.  Used by the iSER data engine and RFTP's
+data plane, where buffers are described by placement rather than held as
+registered arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hw.nic import Nic
+from repro.rdma.verbs import Opcode, QueuePair
+from repro.sim.fluid import FluidResource
+
+__all__ = ["rdma_fluid_path", "weighted_dma_path"]
+
+
+def weighted_dma_path(
+    nic: Nic, fractions: Dict[int, float], write: bool
+) -> list[tuple[FluidResource, float]]:
+    """DMA path averaged over a buffer's NUMA placement fractions."""
+    out: list[tuple[FluidResource, float]] = []
+    for node, f in fractions.items():
+        if f <= 0:
+            continue
+        p = nic.dma_write_path(node) if write else nic.dma_read_path(node)
+        out.extend((r, w * f) for r, w in p)
+    return out
+
+
+def rdma_fluid_path(
+    qp: QueuePair,
+    opcode: Opcode,
+    local_fractions: Dict[int, float],
+    remote_fractions: Dict[int, float],
+) -> list[tuple[FluidResource, float]]:
+    """Resource path of a bulk RDMA stream posted on *qp*.
+
+    ``local_fractions`` place the buffer on *qp*'s machine;
+    ``remote_fractions`` place the peer buffer.  For ``RDMA_WRITE`` data
+    flows local -> remote; for ``RDMA_READ`` remote -> local with the
+    paper's §4.2 read-throughput derate applied to the wire.
+    """
+    if not qp.connected or qp.peer is None:
+        raise RuntimeError(f"QP {qp.name!r} is not connected")
+    if opcode is Opcode.RDMA_READ:
+        src_nic, src_fracs = qp.peer.nic, remote_fractions
+        dst_nic, dst_fracs = qp.nic, local_fractions
+        derate = qp.ctx.cal.rdma_read_throughput_derate
+    elif opcode in (Opcode.RDMA_WRITE, Opcode.SEND):
+        src_nic, src_fracs = qp.nic, local_fractions
+        dst_nic, dst_fracs = qp.peer.nic, remote_fractions
+        derate = 1.0
+    else:
+        raise ValueError(f"no bulk path for opcode {opcode!r}")
+    path = weighted_dma_path(src_nic, src_fracs, write=False)
+    path.append((src_nic.link.direction(src_nic), 1.0))
+    path += weighted_dma_path(dst_nic, dst_fracs, write=True)
+    return apply_read_derate(path, derate)
+
+
+def apply_read_derate(
+    path: list[tuple[FluidResource, float]], derate: float
+) -> list[tuple[FluidResource, float]]:
+    """Inflate link/PCIe occupancy for RDMA READ streams.
+
+    The responder paces READ responses by round trips (bounded
+    outstanding-read depth), so the whole DMA chain — PCIe engines and
+    the wire — is occupied ``1/derate`` longer per byte than a WRITE
+    stream.  Memory banks and CPU are unaffected.
+    """
+    if derate >= 1.0:
+        return path
+    return [
+        (r, w / derate if getattr(r, "kind", None) in ("link", "pcie") else w)
+        for r, w in path
+    ]

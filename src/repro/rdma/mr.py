@@ -1,0 +1,129 @@
+"""Memory regions and protection domains.
+
+A :class:`MemoryRegion` is a registered (pinned) buffer: it records its
+NUMA placement (for DMA routing) and optionally owns real bytes (a NumPy
+array) so integrity tests can verify actual data movement through the
+protocol stack.  Registration hands out ``lkey``/``rkey`` handles; remote
+access requires presenting the correct rkey, as in the verbs spec.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+from typing import Optional
+
+import numpy as np
+
+from repro.hw.topology import Machine
+from repro.kernel.pages import RegionPlacement
+from repro.util.validation import check_positive
+
+__all__ = ["MemoryRegion", "ProtectionDomain"]
+
+_key_counter = count(start=0x1000)
+
+
+class MemoryRegion:
+    """A registered buffer with NUMA placement and optional real storage."""
+
+    def __init__(
+        self,
+        pd: "ProtectionDomain",
+        placement: RegionPlacement,
+        *,
+        data: Optional[np.ndarray] = None,
+        name: str = "",
+    ):
+        if data is not None:
+            if data.dtype != np.uint8 or data.ndim != 1:
+                raise ValueError("MR data must be a 1-D uint8 array")
+            if len(data) != placement.size_bytes:
+                raise ValueError(
+                    f"data length {len(data)} != placement size {placement.size_bytes}"
+                )
+        self.pd = pd
+        self.placement = placement
+        self.data = data
+        self.name = name
+        self.lkey = next(_key_counter)
+        self.rkey = next(_key_counter)
+        self._valid = True
+        pd._register(self)
+
+    @property
+    def size(self) -> int:
+        """Size in bytes."""
+        return self.placement.size_bytes
+
+    @property
+    def machine(self) -> Machine:
+        """The owning machine."""
+        return self.pd.machine
+
+    @property
+    def valid(self) -> bool:
+        """True while the underlying resource is still live."""
+        return self._valid
+
+    def check_range(self, offset: int, length: int) -> None:
+        """Validate an access window (raises on overflow/deregistered MR)."""
+        if not self._valid:
+            raise PermissionError(f"MR {self.name!r} has been deregistered")
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ValueError(
+                f"range [{offset}, {offset + length}) outside MR of {self.size} bytes"
+            )
+
+    def read_bytes(self, offset: int, length: int) -> Optional[np.ndarray]:
+        """A view of the real bytes, if this MR carries any."""
+        self.check_range(offset, length)
+        if self.data is None:
+            return None
+        return self.data[offset : offset + length]
+
+    def write_bytes(self, offset: int, payload: Optional[np.ndarray]) -> None:
+        """Store real bytes, if both sides carry data."""
+        if payload is None or self.data is None:
+            return
+        self.check_range(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    def deregister(self) -> None:
+        """Invalidate the registration."""
+        self._valid = False
+        self.pd._deregister(self)
+
+    def __repr__(self) -> str:
+        return f"<MR {self.name!r} size={self.size} rkey={self.rkey:#x}>"
+
+
+class ProtectionDomain:
+    """Scopes memory registrations to one host (verbs PD semantics)."""
+
+    def __init__(self, machine: Machine, name: str = ""):
+        self.machine = machine
+        self.name = name or f"{machine.name}/pd"
+        self._by_rkey: dict[int, MemoryRegion] = {}
+
+    def _register(self, mr: MemoryRegion) -> None:
+        self._by_rkey[mr.rkey] = mr
+
+    def _deregister(self, mr: MemoryRegion) -> None:
+        self._by_rkey.pop(mr.rkey, None)
+
+    def lookup_rkey(self, rkey: int) -> MemoryRegion:
+        """Resolve a remote key (raises ``PermissionError`` on bad keys)."""
+        mr = self._by_rkey.get(rkey)
+        if mr is None or not mr.valid:
+            raise PermissionError(f"invalid rkey {rkey:#x} in {self.name!r}")
+        return mr
+
+    def register(
+        self,
+        placement: RegionPlacement,
+        data: Optional[np.ndarray] = None,
+        name: str = "",
+    ) -> MemoryRegion:
+        """Register a new MR in this domain."""
+        check_positive("placement.size_bytes", placement.size_bytes)
+        return MemoryRegion(self, placement, data=data, name=name)

@@ -1,0 +1,447 @@
+"""Queue pairs, work requests and completion queues.
+
+Semantics follow the verbs spec subset the paper's systems use:
+
+* ``SEND``/``RECV`` — two-sided: a SEND consumes the oldest posted RECV
+  at the peer and delivers into its buffer.
+* ``RDMA_WRITE`` — one-sided write into a remote MR (used by the iSER
+  target to serve *read* requests, §3.1).
+* ``RDMA_READ`` — one-sided fetch from a remote MR (used by the target
+  for *write* requests); pays an extra request round-trip and a
+  throughput derate relative to WRITE (§4.2's 7.5% read-vs-write gap).
+
+Data movement builds a fluid flow across: source DMA-read path (PCIe +
+memory, crossing QPI if the buffer is remote to the NIC), the link
+direction, and the destination DMA-write path.  No CPU copy is charged —
+that *is* the RDMA advantage.  Small messages (< ``INLINE_THRESHOLD``)
+skip the fluid layer and pay pure latency, keeping control planes cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.hw.nic import Nic
+from repro.rdma.mr import MemoryRegion
+from repro.sim.context import Context
+from repro.sim.engine import Event
+from repro.sim.fluid import FluidFlow, FluidResource
+from repro.sim.resources import Store
+
+__all__ = [
+    "Opcode",
+    "WrStatus",
+    "QpState",
+    "Sge",
+    "WorkRequest",
+    "Completion",
+    "CompletionQueue",
+    "QueuePair",
+]
+
+#: Messages at or below this size are treated as latency-only (no fluid flow).
+SMALL_MESSAGE_BYTES = 16 << 10
+
+_wr_ids = count(1)
+
+
+class Opcode(enum.Enum):
+    """RDMA work-request opcodes."""
+    SEND = "send"
+    RECV = "recv"
+    RDMA_WRITE = "rdma_write"
+    RDMA_READ = "rdma_read"
+
+
+class WrStatus(enum.Enum):
+    """Completion status codes (verbs subset)."""
+    SUCCESS = "success"
+    LOCAL_PROTECTION_ERROR = "local_protection_error"
+    REMOTE_ACCESS_ERROR = "remote_access_error"
+    RECV_NOT_POSTED = "recv_not_posted"
+    WR_FLUSH_ERR = "wr_flush_err"  # posted to a QP in the error state
+
+
+class QpState(enum.Enum):
+    """Queue-pair state machine subset (RESET -> RTS -> ERROR)."""
+
+    RESET = "reset"
+    RTS = "ready_to_send"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Sge:
+    """One scatter/gather entry of a work request."""
+
+    mr: MemoryRegion
+    offset: int
+    length: int
+
+
+@dataclass
+class WorkRequest:
+    """One posted operation.
+
+    Simple requests name a single ``(local_mr, local_offset, length)``
+    buffer; multi-segment requests supply ``sge_list`` instead, gathering
+    the payload from several regions (the wire sees one message).
+    """
+
+    opcode: Opcode
+    local_mr: Optional[MemoryRegion] = None
+    local_offset: int = 0
+    length: int = 0
+    remote_rkey: Optional[int] = None
+    remote_offset: int = 0
+    sge_list: tuple["Sge", ...] = ()
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+
+    def __post_init__(self):
+        if self.sge_list:
+            if self.local_mr is not None:
+                raise ValueError("give either local_mr or sge_list, not both")
+            self.length = sum(sge.length for sge in self.sge_list)
+        elif self.local_mr is None:
+            raise ValueError("work request needs local_mr or sge_list")
+
+    def segments(self) -> tuple["Sge", ...]:
+        """The request's payload as SGEs (singleton for simple WRs)."""
+        if self.sge_list:
+            return self.sge_list
+        assert self.local_mr is not None
+        return (Sge(self.local_mr, self.local_offset, self.length),)
+
+    def check_local(self) -> None:
+        """Validate every local segment (raises on violations)."""
+        for sge in self.segments():
+            sge.mr.check_range(sge.offset, sge.length)
+
+    def primary_placement(self):
+        """NUMA placement of the (first) local buffer, for DMA routing."""
+        return self.segments()[0].mr
+
+
+@dataclass(frozen=True)
+class Completion:
+    """A completion-queue entry."""
+
+    wr_id: int
+    opcode: Opcode
+    status: WrStatus
+    byte_len: int
+
+
+class CompletionQueue:
+    """FIFO of completions with blocking and polling access."""
+
+    def __init__(self, ctx: Context, name: str = ""):
+        self.ctx = ctx
+        self.name = name
+        self._store = Store(ctx.sim, name=name)
+
+    def push(self, completion: Completion) -> None:
+        # CQs are never full in the model; put() succeeds synchronously.
+        """Append a completion entry."""
+        self._store.put(completion)
+
+    def wait(self) -> Event:
+        """Event yielding the next completion (for processes)."""
+        return self._store.get()
+
+    def poll(self) -> Optional[Completion]:
+        """Non-blocking poll."""
+        return self._store.try_get()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class QueuePair:
+    """One side of a connected (RC) queue pair.
+
+    Create pairs via :class:`~repro.rdma.cm.ConnectionManager`, which sets
+    ``peer`` on both sides and records the link between the two NICs.
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        nic: Nic,
+        send_cq: CompletionQueue,
+        recv_cq: Optional[CompletionQueue] = None,
+        name: str = "",
+    ):
+        self.ctx = ctx
+        self.nic = nic
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq or send_cq
+        self.name = name or f"{nic.name}/qp"
+        self.peer: Optional["QueuePair"] = None
+        self._recv_queue: list[WorkRequest] = []
+        self.state = QpState.RESET
+
+    # -- wiring (done by the CM) ------------------------------------------------
+    def _connect(self, peer: "QueuePair") -> None:
+        self.peer = peer
+        self.state = QpState.RTS
+
+    @property
+    def connected(self) -> bool:
+        """True when in the ready-to-send state."""
+        return self.state is QpState.RTS
+
+    def set_error(self) -> list[Completion]:
+        """Transition to the ERROR state and flush posted receives.
+
+        Mirrors ibv_modify_qp(..., IBV_QPS_ERR): outstanding and future
+        work requests complete with ``WR_FLUSH_ERR``.  Returns the flush
+        completions generated for queued receives.
+        """
+        self.state = QpState.ERROR
+        flushed = []
+        for wr in self._recv_queue:
+            completion = Completion(wr.wr_id, Opcode.RECV,
+                                    WrStatus.WR_FLUSH_ERR, 0)
+            self.recv_cq.push(completion)
+            flushed.append(completion)
+        self._recv_queue.clear()
+        return flushed
+
+    @property
+    def link(self):
+        """The link this endpoint is cabled to."""
+        link = self.nic.link
+        if link is None:
+            raise RuntimeError(f"NIC {self.nic.name!r} is not cabled")
+        return link
+
+    # -- posting ------------------------------------------------------------------
+    def post_recv(self, wr: WorkRequest) -> None:
+        """Queue a receive buffer for incoming SENDs."""
+        if wr.opcode is not Opcode.RECV:
+            raise ValueError("post_recv requires a RECV work request")
+        if self.state is QpState.ERROR:
+            self.recv_cq.push(
+                Completion(wr.wr_id, Opcode.RECV, WrStatus.WR_FLUSH_ERR, 0))
+            return
+        wr.check_local()
+        self._recv_queue.append(wr)
+
+    def post_send(self, wr: WorkRequest) -> Event:
+        """Post a SEND / RDMA_WRITE / RDMA_READ; returns its completion event.
+
+        The completion is also pushed to the send CQ.  Failed operations
+        complete with a non-success status (they do not raise).
+        """
+        if wr.opcode is Opcode.RECV:
+            raise ValueError("RECV work requests go to post_recv")
+        if self.state is QpState.ERROR:
+            done = self.ctx.sim.event(name=f"{self.name}/wr{wr.wr_id}")
+            self._complete(wr, WrStatus.WR_FLUSH_ERR, done, self.send_cq)
+            return done
+        if not self.connected or self.peer is None:
+            raise RuntimeError(f"QP {self.name!r} is not connected")
+        done = self.ctx.sim.event(name=f"{self.name}/wr{wr.wr_id}")
+        self.ctx.sim.process(self._execute(wr, done), name=f"{self.name}/exec")
+        return done
+
+    # -- execution -----------------------------------------------------------------
+    def _complete(
+        self, wr: WorkRequest, status: WrStatus, done: Event, cq: CompletionQueue
+    ):
+        completion = Completion(wr.wr_id, wr.opcode, status, wr.length)
+        cq.push(completion)
+        done.succeed(completion)
+
+    def _execute(self, wr: WorkRequest, done: Event):
+        cal = self.ctx.cal
+        sim = self.ctx.sim
+        peer = self.peer
+        assert peer is not None
+
+        try:
+            wr.check_local()
+        except (ValueError, PermissionError):
+            self._complete(wr, WrStatus.LOCAL_PROTECTION_ERROR, done, self.send_cq)
+            return
+        # WR post + doorbell cost.
+        yield sim.timeout(cal.rdma_op_latency)
+        if self.state is QpState.ERROR:
+            self._complete(wr, WrStatus.WR_FLUSH_ERR, done, self.send_cq)
+            return
+
+        if wr.opcode is Opcode.SEND:
+            if not peer._recv_queue:
+                self._complete(wr, WrStatus.RECV_NOT_POSTED, done, self.send_cq)
+                return
+            recv_wr = peer._recv_queue.pop(0)
+            if wr.length > recv_wr.length:
+                self._complete(wr, WrStatus.REMOTE_ACCESS_ERROR, done, self.send_cq)
+                return
+            yield from self._move_data(
+                wr,
+                src_mr=wr.segments()[0].mr,
+                src_off=wr.segments()[0].offset,
+                dst_mr=recv_wr.local_mr,
+                dst_off=recv_wr.local_offset,
+                src_qp=self,
+                dst_qp=peer,
+                gather_wr=wr,
+            )
+            peer.recv_cq.push(
+                Completion(recv_wr.wr_id, Opcode.RECV, WrStatus.SUCCESS, wr.length)
+            )
+            self._complete(wr, WrStatus.SUCCESS, done, self.send_cq)
+            return
+
+        # one-sided ops need a valid rkey at the peer
+        try:
+            remote_mr = peer.nic.machine and self._resolve_rkey(wr)
+            remote_mr.check_range(wr.remote_offset, wr.length)
+        except (PermissionError, ValueError):
+            self._complete(wr, WrStatus.REMOTE_ACCESS_ERROR, done, self.send_cq)
+            return
+
+        if wr.opcode is Opcode.RDMA_WRITE:
+            yield from self._move_data(
+                wr,
+                src_mr=wr.segments()[0].mr,
+                src_off=wr.segments()[0].offset,
+                dst_mr=remote_mr,
+                dst_off=wr.remote_offset,
+                src_qp=self,
+                dst_qp=peer,
+                gather_wr=wr,
+            )
+        else:  # RDMA_READ: data flows peer -> self, after a request trip
+            yield sim.timeout(cal.rdma_read_extra_latency + self.link.delay)
+            yield from self._move_data(
+                wr,
+                src_mr=remote_mr,
+                src_off=wr.remote_offset,
+                dst_mr=wr.local_mr,
+                dst_off=wr.local_offset,
+                src_qp=peer,
+                dst_qp=self,
+                read_derate=cal.rdma_read_throughput_derate,
+            )
+        self._complete(wr, WrStatus.SUCCESS, done, self.send_cq)
+
+    def _resolve_rkey(self, wr: WorkRequest) -> MemoryRegion:
+        if wr.remote_rkey is None:
+            raise PermissionError("one-sided op without rkey")
+        assert self.peer is not None
+        # look up in any PD of the peer machine via the MR registry
+        return self.peer._lookup_local_rkey(wr.remote_rkey)
+
+    def _lookup_local_rkey(self, rkey: int) -> MemoryRegion:
+        # QPs don't own PDs in this trimmed model; search the machine-wide
+        # registry kept by ConnectionManager.
+        from repro.rdma.cm import ConnectionManager
+
+        return ConnectionManager.lookup_rkey(self.nic.machine, rkey)
+
+    def _move_data(
+        self,
+        wr: WorkRequest,
+        *,
+        src_mr: MemoryRegion,
+        src_off: int,
+        dst_mr: MemoryRegion,
+        dst_off: int,
+        src_qp: "QueuePair",
+        dst_qp: "QueuePair",
+        read_derate: float = 1.0,
+        gather_wr: Optional[WorkRequest] = None,
+    ):
+        """Move wr.length bytes src->dst as a fluid flow (+ real bytes)."""
+        sim = self.ctx.sim
+        length = wr.length
+        link = src_qp.link
+        if length > SMALL_MESSAGE_BYTES:
+            from repro.rdma.fabric import apply_read_derate
+
+            path: list[tuple[FluidResource, float]] = []
+            path += _weighted(src_qp.nic, src_mr, write=False)
+            path.append((link.direction(src_qp.nic), 1.0))
+            path += _weighted(dst_qp.nic, dst_mr, write=True)
+            path = apply_read_derate(path, read_derate)
+            flow = FluidFlow(path, size=float(length), name=f"{self.name}/wr{wr.wr_id}")
+            yield self.ctx.fluid.start(flow)
+        else:
+            # latency + serialization only
+            yield sim.timeout(length / (link.rate * read_derate))
+        yield sim.timeout(link.delay)
+        if gather_wr is not None and gather_wr.sge_list:
+            segs = [sge.mr.read_bytes(sge.offset, sge.length)
+                    for sge in gather_wr.segments()]
+            payload = (
+                None if any(s is None for s in segs) else np.concatenate(segs)
+            )
+        else:
+            payload = src_mr.read_bytes(src_off, length)
+        if payload is not None:
+            dst_mr.write_bytes(dst_off, payload)
+
+    # -- bulk fluid channel -------------------------------------------------------
+    def bulk_channel(
+        self,
+        *,
+        src_mr: MemoryRegion,
+        dst_mr: MemoryRegion,
+        opcode: Opcode = Opcode.RDMA_WRITE,
+        size: Optional[float] = None,
+        cap: Optional[float] = None,
+        charges: Iterable[tuple[object, float]] = (),
+        extra_path: Iterable[tuple[FluidResource, float]] = (),
+        name: str = "",
+    ) -> FluidFlow:
+        """A long-lived flow standing for a pipelined stream of WRs.
+
+        Used by RFTP's data plane and the iSER data engine for runs where
+        posting individual work requests would generate millions of
+        events.  ``opcode`` picks the direction derate (READ pays the
+        §4.2 penalty).  The caller owns starting/stopping via
+        ``ctx.fluid``.
+        """
+        if not self.connected or self.peer is None:
+            raise RuntimeError(f"QP {self.name!r} is not connected")
+        derate = (
+            self.ctx.cal.rdma_read_throughput_derate
+            if opcode is Opcode.RDMA_READ
+            else 1.0
+        )
+        if opcode is Opcode.RDMA_READ:
+            src_qp, dst_qp = self.peer, self
+        else:
+            src_qp, dst_qp = self, self.peer
+        from repro.rdma.fabric import apply_read_derate
+
+        path: list[tuple[FluidResource, float]] = []
+        path += _weighted(src_qp.nic, src_mr, write=False)
+        path.append((src_qp.link.direction(src_qp.nic), 1.0))
+        path += _weighted(dst_qp.nic, dst_mr, write=True)
+        path = apply_read_derate(path, derate)
+        path += list(extra_path)
+        return FluidFlow(
+            path, size=size, cap=cap, charges=tuple(charges), name=name or self.name
+        )
+
+
+def _weighted(
+    nic: Nic, mr: MemoryRegion, write: bool
+) -> list[tuple[FluidResource, float]]:
+    """DMA path weighted over the MR's NUMA placement."""
+    out: list[tuple[FluidResource, float]] = []
+    for node, f in mr.placement.node_fractions().items():
+        if f <= 0:
+            continue
+        p = nic.dma_write_path(node) if write else nic.dma_read_path(node)
+        out.extend((r, w * f) for r, w in p)
+    return out

@@ -1,0 +1,53 @@
+"""Simulation context: the bundle every model component is built against.
+
+A :class:`Context` glues together the event engine, the fluid bandwidth
+scheduler, the RNG registry, the trace log and the calibration constants.
+Passing one object (instead of five) keeps constructor signatures sane and
+guarantees all components of one experiment share a clock and a fair-share
+domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.engine import Simulator
+from repro.sim.fluid import FluidScheduler
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceLog
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.calibration import Calibration
+
+__all__ = ["Context"]
+
+
+@dataclass
+class Context:
+    """Shared simulation state for one experiment run."""
+
+    sim: Simulator
+    fluid: FluidScheduler
+    rng: RngRegistry
+    trace: TraceLog
+    cal: "Calibration"
+
+    @classmethod
+    def create(cls, seed: int = 0, cal: "Calibration | None" = None) -> "Context":
+        """Build a fresh context with its own clock and calibration."""
+        from repro.core.calibration import CALIBRATION
+
+        sim = Simulator()
+        return cls(
+            sim=sim,
+            fluid=FluidScheduler(sim),
+            rng=RngRegistry(seed),
+            trace=TraceLog(sim),
+            cal=cal if cal is not None else CALIBRATION,
+        )
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.sim.now

@@ -1,0 +1,380 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event-driven kernel:
+
+* :class:`Simulator` owns the clock and the event heap.
+* :class:`Event` is a one-shot occurrence with callbacks and a value.
+* :class:`Process` drives a Python generator; ``yield event`` suspends the
+  process until the event fires, and the yielded event's value becomes the
+  result of the ``yield`` expression.  A ``return value`` in the generator
+  becomes the process's own event value.
+* :class:`Timeout` fires after a fixed delay.
+* :class:`AnyOf` / :class:`AllOf` compose events.
+* :meth:`Process.interrupt` raises :class:`Interrupt` inside the generator.
+
+The design follows SimPy's semantics closely (so anyone familiar with SimPy
+can read the protocol code), but is implemented from scratch and trimmed to
+what this library needs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "AnyOf",
+    "AllOf",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (double trigger, negative delay...)."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator by :meth:`Process.interrupt`."""
+
+    @property
+    def cause(self) -> Any:
+        """The value passed to interrupt()."""
+        return self.args[0] if self.args else None
+
+
+# Event priorities: interrupts preempt normal events scheduled at the same
+# simulated instant so that an interrupted process observes the interrupt
+# before e.g. a simultaneous timeout.
+URGENT = 0
+NORMAL = 1
+
+
+class Event:
+    """A one-shot occurrence.
+
+    Lifecycle: *pending* -> triggered (scheduled on the heap) -> processed
+    (callbacks ran).  ``succeed``/``fail`` trigger it; ``value`` holds the
+    payload (or the exception for failed events).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+
+    _PENDING = object()
+
+    def __init__(self, sim: "Simulator", name: str = ""):
+        self.sim = sim
+        self.name = name
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: Optional[bool] = None
+        self._processed = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (it is or will be processed)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only once triggered)."""
+        if self._ok is None:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's payload (raises if not yet triggered)."""
+        if self._value is Event._PENDING:
+            raise SimulationError(f"event {self!r} not yet triggered")
+        return self._value
+
+    # -- triggering ---------------------------------------------------------
+    def succeed(self, value: Any = None, priority: int = NORMAL) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._push(self, priority)
+        return self
+
+    def fail(self, exc: BaseException, priority: int = NORMAL) -> "Event":
+        """Trigger the event with an exception.
+
+        A process waiting on the event sees *exc* raised at its ``yield``.
+        """
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        if self.triggered:
+            raise SimulationError(f"event {self!r} already triggered")
+        self._ok = False
+        self._value = exc
+        self.sim._push(self, priority)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (this makes waiting on completed events race-free).
+        """
+        if self.callbacks is None:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:
+        state = (
+            "processed" if self._processed else "triggered" if self.triggered else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<{type(self).__name__}{label} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._ok = True
+        self._value = value
+        sim._push(self, NORMAL, delay=delay)
+
+
+class Process(Event):
+    """Drives a generator; the process itself is an event (its completion).
+
+    The generator yields :class:`Event` instances.  When the yielded event
+    fires, the generator resumes with the event's value (or the exception,
+    if the event failed and the generator doesn't catch it, the process
+    fails).
+    """
+
+    __slots__ = ("_gen", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", gen: Generator[Event, Any, Any], name: str = ""):
+        if not hasattr(gen, "send") or not hasattr(gen, "throw"):
+            raise TypeError(f"Process requires a generator, got {type(gen).__name__}")
+        super().__init__(sim, name=name or getattr(gen, "__name__", ""))
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        # Kick off the generator at the current simulated instant.
+        boot = Event(sim)
+        boot._ok = True
+        boot._value = None
+        sim._push(boot, NORMAL)
+        boot.add_callback(self._resume)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the process has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the process at the current time."""
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self!r}")
+        intr = Event(self.sim, name="interrupt")
+        intr._ok = False
+        intr._value = Interrupt(cause)
+        # Detach from whatever we were waiting on.
+        target = self._waiting_on
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self.sim._push(intr, URGENT)
+        intr.add_callback(self._resume)
+
+    # -- generator pump -----------------------------------------------------
+    def _resume(self, trigger: Event) -> None:
+        self._waiting_on = None
+        event: Any = None
+        try:
+            if trigger._ok:
+                event = self._gen.send(trigger._value)
+            else:
+                event = self._gen.throw(trigger._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if not self.triggered:
+                self.fail(exc)
+                return
+            raise
+
+        if not isinstance(event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {event!r}; processes must yield Events"
+            )
+        if event.sim is not self.sim:
+            raise SimulationError("yielded event belongs to a different Simulator")
+        self._waiting_on = event
+        event.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf/AllOf: waits on a set of events."""
+
+    __slots__ = ("_events", "_done")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._done = 0
+        for ev in self._events:
+            if ev.sim is not sim:
+                raise SimulationError("condition mixes events from different simulators")
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            ev.add_callback(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {ev: ev._value for ev in self._events if ev._processed and ev._ok}
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AnyOf(_Condition):
+    """Fires when the first of its events fires (failures propagate)."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+        else:
+            self.succeed(self._collect())
+
+
+class AllOf(_Condition):
+    """Fires when all of its events have fired (failures propagate)."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev._ok:
+            self.fail(ev._value)
+            return
+        self._done += 1
+        if self._done == len(self._events):
+            self.succeed(self._collect())
+
+
+class Simulator:
+    """The event loop: a clock plus a priority heap of triggered events."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+
+    # -- clock --------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -- scheduling -----------------------------------------------------------
+    def _push(self, event: Event, priority: int, delay: float = 0.0) -> None:
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    # -- factories ------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """A fresh untriggered event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing *delay* seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
+        """Start a process driving *gen*; returns its completion event."""
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event firing when the first of the given events fires."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event firing when all of the given events have fired."""
+        return AllOf(self, events)
+
+    # -- running ---------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        t, _prio, _seq, event = heapq.heappop(self._heap)
+        if t < self._now - 1e-12:
+            raise SimulationError(f"time went backwards: {t} < {self._now}")
+        self._now = max(self._now, t)
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        if callbacks:
+            for cb in callbacks:
+                cb(event)
+
+    def peek(self) -> float:
+        """Time of the next event, or +inf if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def run(self, until: "float | Event | None" = None) -> Any:
+        """Run the simulation.
+
+        * ``until=None``  — run until no events remain.
+        * ``until=float`` — run until the clock reaches that time.
+        * ``until=Event`` — run until the event fires; returns its value
+          (raising if the event failed).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+
+        if isinstance(until, Event):
+            target = until
+            while not target.processed:
+                if not self._heap:
+                    raise SimulationError(
+                        f"simulation starved before {target!r} fired"
+                    )
+                self.step()
+            if target._ok:
+                return target._value
+            raise target._value
+
+        horizon = float(until)
+        if horizon < self._now:
+            raise SimulationError(f"cannot run until {horizon} < now={self._now}")
+        while self._heap and self._heap[0][0] <= horizon:
+            self.step()
+        self._now = horizon
+        return None

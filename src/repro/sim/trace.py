@@ -1,0 +1,181 @@
+"""Measurement: time series, throughput probes and a structured trace log.
+
+These utilities produce the data behind every figure: throughput
+timelines (Figs. 9, 11), CPU-utilization windows (Figs. 8, 10, 12, 14)
+and per-event traces used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+import numpy as np
+
+from repro.sim.engine import Simulator
+
+__all__ = ["TimeSeries", "ThroughputProbe", "TraceLog", "periodic"]
+
+
+@dataclass
+class TimeSeries:
+    """An append-only (time, value) series with summary helpers."""
+
+    name: str = ""
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, t: float, v: float) -> None:
+        """Append one entry."""
+        if self.times and t < self.times[-1]:
+            raise ValueError(f"time went backwards in series {self.name!r}")
+        self.times.append(t)
+        self.values.append(v)
+
+    def __len__(self) -> int:
+        return len(self.times)
+
+    def __iter__(self) -> Iterator[tuple[float, float]]:
+        return iter(zip(self.times, self.values))
+
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded values (0 if empty)."""
+        return float(np.mean(self.values)) if self.values else 0.0
+
+    def steady_mean(self, skip_fraction: float = 0.2) -> float:
+        """Mean after discarding the initial ramp-up window."""
+        if not self.values:
+            return 0.0
+        skip = int(len(self.values) * skip_fraction)
+        tail = self.values[skip:] or self.values
+        return float(np.mean(tail))
+
+    def max(self) -> float:
+        """Maximum recorded value."""
+        return float(np.max(self.values)) if self.values else 0.0
+
+    def min(self) -> float:
+        """Minimum recorded value."""
+        return float(np.min(self.values)) if self.values else 0.0
+
+    def as_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The series as (times, values) NumPy arrays."""
+        return np.asarray(self.times), np.asarray(self.values)
+
+    def sparkline(self, width: int = 60, lo: Optional[float] = None,
+                  hi: Optional[float] = None) -> str:
+        """A unicode sparkline of the series (the poor man's figure).
+
+        Values are bucketed to *width* columns (mean per bucket) and
+        mapped onto eight block heights between *lo* and *hi* (default:
+        0 to the series max).
+        """
+        if not self.values:
+            return ""
+        blocks = " ▁▂▃▄▅▆▇█"
+        values = np.asarray(self.values, dtype=float)
+        n = min(width, len(values))
+        buckets = [
+            float(chunk.mean())
+            for chunk in np.array_split(values, n)
+        ]
+        low = 0.0 if lo is None else lo
+        high = float(max(buckets)) if hi is None else hi
+        span = max(high - low, 1e-12)
+        out = []
+        for v in buckets:
+            idx = int(round((v - low) / span * (len(blocks) - 1)))
+            out.append(blocks[max(0, min(idx, len(blocks) - 1))])
+        return "".join(out)
+
+
+def periodic(sim: Simulator, interval: float, fn: Callable[[float], None]):
+    """A process generator calling ``fn(now)`` every *interval* seconds."""
+    if interval <= 0:
+        raise ValueError(f"interval must be > 0, got {interval}")
+
+    def _proc():
+        while True:
+            yield sim.timeout(interval)
+            fn(sim.now)
+
+    return sim.process(_proc(), name=f"periodic:{getattr(fn, '__name__', 'fn')}")
+
+
+class ThroughputProbe:
+    """Samples a cumulative byte counter into a rate (bytes/s) time series.
+
+    ``counter`` is any zero-argument callable returning cumulative bytes
+    (e.g. a closure over ``flow.transferred``, possibly summing several
+    flows).  Each sample records the average rate over the last interval.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        counter: Callable[[], float],
+        interval: float = 1.0,
+        name: str = "",
+        pre_sample: Optional[Callable[[], None]] = None,
+    ):
+        self.sim = sim
+        self.counter = counter
+        self.interval = interval
+        self.series = TimeSeries(name=name or "throughput")
+        self._last_total = 0.0
+        self._pre_sample = pre_sample
+        self._proc = periodic(sim, interval, self._sample)
+
+    def _sample(self, now: float) -> None:
+        if self._pre_sample is not None:
+            self._pre_sample()
+        total = self.counter()
+        rate = (total - self._last_total) / self.interval
+        self._last_total = total
+        self.series.record(now, rate)
+
+    def stop(self) -> TimeSeries:
+        """Stop the activity; returns/flushes what it accumulated."""
+        if self._proc.is_alive:
+            self._proc.interrupt("probe stopped")
+        return self.series
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One structured trace entry."""
+
+    time: float
+    category: str
+    message: str
+    fields: tuple[tuple[str, Any], ...] = ()
+
+
+class TraceLog:
+    """A structured, filterable event log (used heavily by tests)."""
+
+    def __init__(self, sim: Simulator, enabled: bool = True):
+        self.sim = sim
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def emit(self, category: str, message: str, **fields: Any) -> None:
+        """Record one structured entry."""
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(self.sim.now, category, message, tuple(sorted(fields.items())))
+        )
+
+    def filter(self, category: str) -> list[TraceRecord]:
+        """Entries of one category."""
+        return [r for r in self.records if r.category == category]
+
+    def messages(self, category: Optional[str] = None) -> list[str]:
+        """Message strings, optionally filtered by category."""
+        return [
+            r.message for r in self.records if category is None or r.category == category
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,174 @@
+"""Block-device abstraction and a local RAM disk.
+
+A :class:`BlockDevice` exposes two granularities, mirroring the rest of
+the library:
+
+* :meth:`BlockDevice.submit` — event-level I/O for protocol tests and the
+  real-byte datapath;
+* :meth:`BlockDevice.bulk_path` — a fluid :class:`~repro.kernel.work.PathSpec`
+  describing the per-byte cost of streaming sequential I/O, which the
+  filesystem and application layers compose into end-to-end flows.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.kernel.pages import RegionPlacement
+from repro.kernel.process import SimThread
+from repro.kernel.work import PathSpec, WorkItem, build_thread_path
+from repro.sim.context import Context
+from repro.sim.engine import Event
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["IoRequest", "BlockDevice", "RamDisk"]
+
+
+@dataclass
+class IoRequest:
+    """One block-level I/O."""
+
+    is_write: bool
+    offset: int
+    length: int
+    data: Optional[np.ndarray] = None  # payload for writes / filled on reads
+
+    def __post_init__(self):
+        check_non_negative("offset", self.offset)
+        check_positive("length", self.length)
+        if self.data is not None and len(self.data) != self.length:
+            raise ValueError(
+                f"data length {len(self.data)} != request length {self.length}"
+            )
+
+
+class BlockDevice(abc.ABC):
+    """Abstract block device."""
+
+    def __init__(self, ctx: Context, name: str, capacity_bytes: int):
+        check_positive("capacity_bytes", capacity_bytes)
+        self.ctx = ctx
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.stats = {"read_bytes": 0, "write_bytes": 0, "read_ops": 0, "write_ops": 0}
+
+    def _check(self, req: IoRequest) -> None:
+        if req.offset + req.length > self.capacity_bytes:
+            raise ValueError(
+                f"I/O [{req.offset}, {req.offset + req.length}) beyond device "
+                f"capacity {self.capacity_bytes}"
+            )
+
+    def _count(self, req: IoRequest) -> None:
+        if req.is_write:
+            self.stats["write_bytes"] += req.length
+            self.stats["write_ops"] += 1
+        else:
+            self.stats["read_bytes"] += req.length
+            self.stats["read_ops"] += 1
+
+    @abc.abstractmethod
+    def submit(self, req: IoRequest, thread: Optional[SimThread] = None) -> Event:
+        """Execute one I/O; the returned event fires at completion."""
+
+    @abc.abstractmethod
+    def bulk_path(
+        self, is_write: bool, thread: SimThread, block_size: int
+    ) -> PathSpec:
+        """Fluid path of a sequential streaming workload on this device."""
+
+
+class RamDisk(BlockDevice):
+    """A memory-backed block device on one host.
+
+    ``placement`` is the NUMA placement of the backing pages; I/O cost is
+    a CPU copy between the caller's buffer and the backing store (this is
+    what a tmpfs-file-backed loop device costs).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        name: str,
+        placement: RegionPlacement,
+        *,
+        store_data: bool = False,
+    ):
+        super().__init__(ctx, name, placement.size_bytes)
+        self.placement = placement
+        self.data: Optional[np.ndarray] = (
+            np.zeros(placement.size_bytes, dtype=np.uint8) if store_data else None
+        )
+
+    # -- cost model -----------------------------------------------------------------
+    def _items(self, is_write: bool, thread: SimThread) -> list[WorkItem]:
+        cal = self.ctx.cal
+        exec_fracs = thread.execution_fractions()
+        store_fracs = self.placement.node_fractions()
+        remote = sum(
+            ef * sf
+            for en, ef in exec_fracs.items()
+            for sn, sf in store_fracs.items()
+            if en != sn
+        )
+        cpu = (
+            remote / cal.memcpy_rate_remote + (1 - remote) / cal.memcpy_rate_local
+        )
+        if is_write:
+            traffic = (
+                WorkItem.mem(exec_fracs, 1.0),  # read source buffer
+                WorkItem.mem(store_fracs, 2.0),  # write-allocate the store
+            )
+            cat = "offload"
+        else:
+            traffic = (
+                WorkItem.mem(store_fracs, 1.0),  # read the store
+                WorkItem.mem(exec_fracs, 2.0),  # write-allocate dest buffer
+            )
+            cat = "load"
+        return [WorkItem("ramdisk copy", cpu_per_byte=cpu, category=cat,
+                         mem_traffic=traffic)]
+
+    def bulk_path(self, is_write: bool, thread: SimThread, block_size: int) -> PathSpec:
+        """Fluid path of streaming sequential I/O on this device."""
+        return build_thread_path(
+            thread, self._items(is_write, thread), op_size=block_size
+        )
+
+    def submit(self, req: IoRequest, thread: Optional[SimThread] = None) -> Event:
+        """Execute one I/O; the returned event fires at completion."""
+        self._check(req)
+        self._count(req)
+        done = self.ctx.sim.event(name=f"{self.name}/io")
+
+        def run():
+            if thread is not None:
+                spec = self.bulk_path(req.is_write, thread, req.length)
+                from repro.sim.fluid import FluidFlow
+
+                flow = FluidFlow(
+                    spec.path,
+                    size=float(req.length),
+                    cap=spec.cap,
+                    charges=spec.charges,
+                    name=f"{self.name}/io",
+                )
+                yield self.ctx.fluid.start(flow)
+            else:
+                # uninstrumented fast path: memory-speed copy
+                yield self.ctx.sim.timeout(
+                    req.length / self.ctx.cal.memcpy_rate_local
+                )
+            if self.data is not None:
+                if req.is_write and req.data is not None:
+                    self.data[req.offset : req.offset + req.length] = req.data
+                elif not req.is_write and req.data is not None:
+                    req.data[:] = self.data[req.offset : req.offset + req.length]
+            done.succeed(req)
+
+        self.ctx.sim.process(run(), name=f"{self.name}/io")
+        return done

@@ -1,0 +1,174 @@
+"""Event-level target daemon: command queue + worker pool.
+
+The fluid layer models tgtd's steady-state throughput; this module
+models its *queueing* behaviour at event granularity: SCSI commands
+arrive over the session, wait in a bounded command queue, are picked up
+by a fixed pool of worker processes (:data:`IserTarget.WORKERS_PER_PROCESS`
+per target process), execute their RDMA data phase, and complete back to
+the initiator.  Saturating the pool makes latency grow linearly with
+queue depth — the contention the paper's threads-per-LUN sweep probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Optional
+
+from repro.rdma.verbs import Opcode, QueuePair, WorkRequest, WrStatus
+from repro.sim.context import Context
+from repro.sim.engine import Event, Interrupt
+from repro.sim.resources import Store
+from repro.storage.target import IserTarget, Lun
+
+__all__ = ["QueuedCommand", "TargetDaemon"]
+
+_cmd_ids = count(1)
+
+
+@dataclass
+class QueuedCommand:
+    """One SCSI command waiting for a target worker."""
+
+    lun: Lun
+    is_write: bool
+    offset: int
+    length: int
+    initiator_mr: object
+    initiator_offset: int = 0
+    done: Optional[Event] = None
+    cmd_id: int = field(default_factory=lambda: next(_cmd_ids))
+    enqueued_at: float = 0.0
+    started_at: float = 0.0
+    completed_at: float = 0.0
+
+    @property
+    def queue_wait(self) -> float:
+        """Seconds spent waiting in the command queue."""
+        return self.started_at - self.enqueued_at
+
+    @property
+    def service_time(self) -> float:
+        """Seconds from dispatch to completion."""
+        return self.completed_at - self.started_at
+
+
+class TargetDaemon:
+    """The command loop of one target process.
+
+    ``target_qp`` is the target side of a connected session QP pair (it
+    posts the RDMA data operations).  ``n_workers`` bounds concurrency;
+    ``queue_depth`` bounds the command queue (full queue -> the submit
+    event blocks, exactly like a full iSCSI command window).
+    """
+
+    def __init__(
+        self,
+        ctx: Context,
+        target: IserTarget,
+        target_qp: QueuePair,
+        n_workers: Optional[int] = None,
+        queue_depth: int = 128,
+        name: str = "",
+    ):
+        self.ctx = ctx
+        self.target = target
+        self.qp = target_qp
+        self.name = name or f"{target.name}/daemon"
+        self.n_workers = (
+            n_workers if n_workers is not None else target.WORKERS_PER_PROCESS
+        )
+        if self.n_workers < 1:
+            raise ValueError(f"need >= 1 worker, got {self.n_workers}")
+        self.queue = Store(ctx.sim, capacity=queue_depth, name=f"{self.name}/q")
+        self.completed: list[QueuedCommand] = []
+        self.running = True
+        self._idle: set[int] = set()
+        self._workers = [
+            ctx.sim.process(self._worker(i), name=f"{self.name}/w{i}")
+            for i in range(self.n_workers)
+        ]
+
+    # -- submission -----------------------------------------------------------------
+    def submit(self, cmd: QueuedCommand) -> Event:
+        """Enqueue a command; returns its completion event (SCSI status)."""
+        if not self.running:
+            raise RuntimeError(f"daemon {self.name!r} is shut down")
+        cmd.done = self.ctx.sim.event(name=f"{self.name}/cmd{cmd.cmd_id}")
+        cmd.enqueued_at = self.ctx.sim.now
+
+        def enqueue():
+            yield self.queue.put(cmd)
+
+        self.ctx.sim.process(enqueue(), name=f"{self.name}/enq")
+        return cmd.done
+
+    # -- the worker loop ---------------------------------------------------------------
+    def _worker(self, index: int):
+        cal = self.ctx.cal
+        sim = self.ctx.sim
+        while True:
+            self._idle.add(index)
+            try:
+                cmd = yield self.queue.get()
+            except Interrupt:
+                return
+            finally:
+                self._idle.discard(index)
+            cmd.started_at = sim.now
+            # per-command CPU at the target (parse, tag, dispatch)
+            yield sim.timeout(cal.scsi_per_cmd_cpu)
+            if cmd.offset + cmd.length > cmd.lun.capacity_bytes:
+                status = 0x02  # CHECK CONDITION: LBA out of range
+            else:
+                lun_mr = cmd.lun.memory_region()
+                if cmd.is_write:
+                    wr = WorkRequest(
+                        Opcode.RDMA_READ, lun_mr, local_offset=cmd.offset,
+                        length=cmd.length,
+                        remote_rkey=cmd.initiator_mr.rkey,
+                        remote_offset=cmd.initiator_offset,
+                    )
+                else:
+                    wr = WorkRequest(
+                        Opcode.RDMA_WRITE, lun_mr, local_offset=cmd.offset,
+                        length=cmd.length,
+                        remote_rkey=cmd.initiator_mr.rkey,
+                        remote_offset=cmd.initiator_offset,
+                    )
+                completion = yield self.qp.post_send(wr)
+                status = 0x00 if completion.status is WrStatus.SUCCESS else 0x02
+            # response PDU back to the initiator
+            yield sim.timeout(cal.rdma_op_latency + self.qp.link.delay)
+            cmd.completed_at = sim.now
+            self.completed.append(cmd)
+            cmd.done.succeed(status)
+
+    # -- lifecycle --------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop accepting commands and terminate idle workers.
+
+        Workers mid-command finish it; queued-but-unstarted commands are
+        failed with a shutdown error."""
+        self.running = False
+        while True:
+            cmd = self.queue.try_get()
+            if cmd is None:
+                break
+            cmd.done.fail(RuntimeError("target daemon shut down"))
+        for i, w in enumerate(self._workers):
+            if w.is_alive and i in self._idle:
+                w.interrupt("shutdown")
+
+    # -- statistics --------------------------------------------------------------------
+    def mean_queue_wait(self) -> float:
+        """Mean queue wait over completed commands."""
+        if not self.completed:
+            return 0.0
+        return sum(c.queue_wait for c in self.completed) / len(self.completed)
+
+    def mean_service_time(self) -> float:
+        """Mean service time over completed commands."""
+        if not self.completed:
+            return 0.0
+        return sum(c.service_time for c in self.completed) / len(self.completed)

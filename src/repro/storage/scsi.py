@@ -1,0 +1,130 @@
+"""SCSI command subset: CDB encoding/decoding.
+
+The iSCSI layer carries SCSI Command Descriptor Blocks; this module
+implements the commands the SAN path needs — READ(16), WRITE(16),
+READ CAPACITY(16), INQUIRY, TEST UNIT READY — with byte-exact encoding
+so the protocol stack round-trips real bytes (validated by property
+tests).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+__all__ = ["ScsiOp", "CDB", "ScsiError", "SENSE_OK", "SENSE_ILLEGAL_REQUEST"]
+
+#: Logical block size used throughout (512-byte sectors).
+BLOCK_SIZE = 512
+
+SENSE_OK = 0x00
+SENSE_ILLEGAL_REQUEST = 0x05
+
+
+class ScsiError(ValueError):
+    """Malformed or unsupported CDB."""
+
+
+class ScsiOp(enum.IntEnum):
+    """Supported SCSI command opcodes."""
+    TEST_UNIT_READY = 0x00
+    INQUIRY = 0x12
+    READ_CAPACITY_16 = 0x9E
+    READ_16 = 0x88
+    WRITE_16 = 0x8A
+
+
+@dataclass(frozen=True)
+class CDB:
+    """A decoded command descriptor block."""
+
+    op: ScsiOp
+    lba: int = 0  # logical block address
+    blocks: int = 0  # transfer length in logical blocks
+
+    @property
+    def byte_length(self) -> int:
+        """Transfer length in bytes."""
+        return self.blocks * BLOCK_SIZE
+
+    @property
+    def byte_offset(self) -> int:
+        """Starting offset in bytes."""
+        return self.lba * BLOCK_SIZE
+
+    @property
+    def is_write(self) -> bool:
+        """True for WRITE commands."""
+        return self.op is ScsiOp.WRITE_16
+
+    @property
+    def is_data_transfer(self) -> bool:
+        """True for READ/WRITE (data-moving) commands."""
+        return self.op in (ScsiOp.READ_16, ScsiOp.WRITE_16)
+
+    # -- encoding ---------------------------------------------------------------
+    def encode(self) -> bytes:
+        """Serialize to the 16-byte (or 6-byte) wire CDB."""
+        if self.op in (ScsiOp.READ_16, ScsiOp.WRITE_16):
+            if self.lba < 0 or self.lba >= 1 << 64:
+                raise ScsiError(f"LBA out of range: {self.lba}")
+            if self.blocks <= 0 or self.blocks >= 1 << 32:
+                raise ScsiError(f"transfer length out of range: {self.blocks}")
+            return struct.pack(
+                ">BBQIBB", int(self.op), 0, self.lba, self.blocks, 0, 0
+            )
+        if self.op is ScsiOp.READ_CAPACITY_16:
+            # service action 0x10 in byte 1
+            return struct.pack(">BB", int(self.op), 0x10) + bytes(14)
+        if self.op is ScsiOp.INQUIRY:
+            return struct.pack(">BBBHB", int(self.op), 0, 0, 96, 0) + bytes(0)
+        if self.op is ScsiOp.TEST_UNIT_READY:
+            return bytes(6)
+        raise ScsiError(f"cannot encode op {self.op!r}")
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "CDB":
+        """Parse a wire CDB (raises :class:`ScsiError` on junk)."""
+        if not raw:
+            raise ScsiError("empty CDB")
+        opcode = raw[0]
+        if opcode == ScsiOp.TEST_UNIT_READY and len(raw) >= 6:
+            return cls(ScsiOp.TEST_UNIT_READY)
+        if opcode == ScsiOp.INQUIRY:
+            if len(raw) < 6:
+                raise ScsiError("short INQUIRY CDB")
+            return cls(ScsiOp.INQUIRY)
+        if opcode == ScsiOp.READ_CAPACITY_16:
+            if len(raw) < 16:
+                raise ScsiError("short READ CAPACITY(16) CDB")
+            return cls(ScsiOp.READ_CAPACITY_16)
+        if opcode in (ScsiOp.READ_16, ScsiOp.WRITE_16):
+            if len(raw) < 16:
+                raise ScsiError("short READ/WRITE(16) CDB")
+            _, _, lba, blocks, _, _ = struct.unpack(">BBQIBB", raw[:16])
+            if blocks == 0:
+                raise ScsiError("zero-length transfer")
+            return cls(ScsiOp(opcode), lba=lba, blocks=blocks)
+        raise ScsiError(f"unsupported SCSI opcode {opcode:#x}")
+
+    # -- constructors ----------------------------------------------------------
+    @classmethod
+    def read(cls, offset_bytes: int, length_bytes: int) -> "CDB":
+        """A READ(16) covering a byte range (must be block-aligned)."""
+        return cls(ScsiOp.READ_16, *_to_blocks(offset_bytes, length_bytes))
+
+    @classmethod
+    def write(cls, offset_bytes: int, length_bytes: int) -> "CDB":
+        """A WRITE(16) covering a byte range (must be block-aligned)."""
+        return cls(ScsiOp.WRITE_16, *_to_blocks(offset_bytes, length_bytes))
+
+
+def _to_blocks(offset_bytes: int, length_bytes: int) -> tuple[int, int]:
+    if offset_bytes % BLOCK_SIZE or length_bytes % BLOCK_SIZE:
+        raise ScsiError(
+            f"byte range ({offset_bytes}, {length_bytes}) not {BLOCK_SIZE}-aligned"
+        )
+    if length_bytes <= 0:
+        raise ScsiError("zero-length transfer")
+    return offset_bytes // BLOCK_SIZE, length_bytes // BLOCK_SIZE

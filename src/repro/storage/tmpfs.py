@@ -1,0 +1,115 @@
+"""tmpfs: memory-backed file store with NUMA mount policies.
+
+The paper builds its back-end out of tmpfs (§3.1): "By adjusting the
+location of the memory file with the *mpol* and *remount* options, we pin
+each file into a specified NUMA node memory."  :class:`TmpfsStore` models
+one tmpfs mount; files created in it inherit the mount's ``mpol`` policy
+and get a :class:`~repro.kernel.pages.RegionPlacement` accordingly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.hw.topology import Machine
+from repro.kernel.numa import NumaPolicy
+from repro.kernel.pages import RegionPlacement, place_region
+from repro.util.validation import check_positive
+
+__all__ = ["TmpfsFile", "TmpfsStore"]
+
+
+@dataclass
+class TmpfsFile:
+    """One file pinned in memory."""
+
+    name: str
+    placement: RegionPlacement
+
+    @property
+    def size_bytes(self) -> int:
+        """Size in bytes."""
+        return self.placement.size_bytes
+
+
+class TmpfsStore:
+    """A tmpfs mount on one machine.
+
+    ``mpol`` is the mount's NUMA memory policy (``mpol=bind:0`` etc.);
+    remounting with a different policy affects *new* files, as on Linux.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        size_bytes: int,
+        mpol: Optional[NumaPolicy] = None,
+        name: str = "tmpfs",
+    ):
+        check_positive("size_bytes", size_bytes)
+        if size_bytes > machine.total_memory_bytes:
+            raise ValueError(
+                f"tmpfs of {size_bytes} exceeds machine memory "
+                f"{machine.total_memory_bytes}"
+            )
+        self.machine = machine
+        self.size_bytes = size_bytes
+        self.mpol = mpol or NumaPolicy.default()
+        self.name = name
+        self._files: Dict[str, TmpfsFile] = {}
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently allocated."""
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes still available."""
+        return self.size_bytes - self._used
+
+    def remount(self, mpol: NumaPolicy) -> None:
+        """Change the mount policy (affects files created afterwards)."""
+        self.mpol = mpol
+
+    def create(
+        self, name: str, size_bytes: int, touch_node: Optional[int] = None
+    ) -> TmpfsFile:
+        """Create a file; pages are placed per the mount policy.
+
+        ``touch_node`` models which node's thread faults the pages in
+        (first-touch under the default policy).
+        """
+        check_positive("size_bytes", size_bytes)
+        if name in self._files:
+            raise FileExistsError(f"tmpfs file {name!r} exists")
+        if size_bytes > self.free_bytes:
+            raise OSError(f"tmpfs {self.name!r} full: need {size_bytes}, "
+                          f"free {self.free_bytes}")
+        placement = place_region(
+            size_bytes, self.mpol, self.machine.n_nodes, touch_node=touch_node
+        )
+        f = TmpfsFile(name=name, placement=placement)
+        self._files[name] = f
+        self._used += size_bytes
+        return f
+
+    def open(self, name: str) -> TmpfsFile:
+        """Open an existing entry."""
+        f = self._files.get(name)
+        if f is None:
+            raise FileNotFoundError(f"tmpfs file {name!r} not found")
+        return f
+
+    def unlink(self, name: str) -> None:
+        """Remove a file."""
+        f = self._files.pop(name, None)
+        if f is None:
+            raise FileNotFoundError(f"tmpfs file {name!r} not found")
+        self._used -= f.size_bytes
+
+    def files(self) -> list[TmpfsFile]:
+        """All files in the mount."""
+        return list(self._files.values())

@@ -1,0 +1,39 @@
+"""Shared utilities: unit conversions, table rendering, validation."""
+
+from repro.util.units import (
+    GB,
+    GIB,
+    KB,
+    KIB,
+    MB,
+    MIB,
+    TB,
+    Gbps,
+    Mbps,
+    bits_to_bytes,
+    bytes_to_bits,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+    gbps,
+    mbps,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "KIB",
+    "MIB",
+    "GIB",
+    "Gbps",
+    "Mbps",
+    "gbps",
+    "mbps",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "fmt_bytes",
+    "fmt_rate",
+    "fmt_seconds",
+]

@@ -1,0 +1,80 @@
+"""Fixed-width text table rendering for benchmark reports.
+
+The benchmark harness prints paper-vs-measured tables; this module keeps
+the formatting in one place so every figure's output reads the same way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple fixed-width table.
+
+    >>> t = Table(["name", "Gbps"])
+    >>> t.add_row(["RFTP", 91.0])
+    >>> t.add_row(["GridFTP", 29.0])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    headers: Sequence[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one data row."""
+        cells = [_cell(v) for v in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render to a fixed-width text block."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_line(cells: Sequence[str]) -> str:
+            return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt_line(list(self.headers)))
+        lines.append(sep)
+        lines.extend(fmt_line(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def comparison_table(
+    title: str,
+    rows: Iterable[tuple[str, Any, Any]],
+    paper_label: str = "paper",
+    measured_label: str = "measured",
+) -> Table:
+    """Build a three-column *metric / paper / measured* table."""
+    t = Table(["metric", paper_label, measured_label], title=title)
+    for name, paper, measured in rows:
+        t.add_row([name, paper, measured])
+    return t

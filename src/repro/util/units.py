@@ -1,0 +1,89 @@
+"""Unit constants and conversion helpers.
+
+Conventions used across the library:
+
+* **time** is in seconds (floats),
+* **sizes** are in bytes (ints where exact, floats in fluid rate math),
+* **rates** are in bytes/second,
+* network link speeds quoted in the paper (40 Gbps RoCE, 56 Gbps IB FDR)
+  are *bits* per second and must be converted with :func:`gbps`.
+
+Decimal (KB/MB/GB) and binary (KiB/MiB/GiB) prefixes are both provided;
+storage sizes in the paper ("50 gigabytes" LUNs) are decimal, while block
+sizes used by fio/RFTP ("4 megabytes") follow the binary convention of
+those tools.
+"""
+
+from __future__ import annotations
+
+# --- decimal sizes -------------------------------------------------------
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+TB = 1_000_000_000_000
+
+# --- binary sizes --------------------------------------------------------
+KIB = 1 << 10
+MIB = 1 << 20
+GIB = 1 << 30
+TIB = 1 << 40
+
+# --- rates (bytes/second) ------------------------------------------------
+Mbps = 1_000_000 / 8.0  #: one megabit per second, in bytes/second
+Gbps = 1_000_000_000 / 8.0  #: one gigabit per second, in bytes/second
+
+
+def gbps(x: float) -> float:
+    """Convert gigabits/second to bytes/second."""
+    return x * Gbps
+
+
+def mbps(x: float) -> float:
+    """Convert megabits/second to bytes/second."""
+    return x * Mbps
+
+
+def bytes_to_bits(n: float) -> float:
+    """Bytes to bits."""
+    return n * 8.0
+
+
+def bits_to_bytes(n: float) -> float:
+    """Bits to bytes."""
+    return n / 8.0
+
+
+def to_gbps(rate_bytes_per_s: float) -> float:
+    """Convert a bytes/second rate to gigabits/second."""
+    return rate_bytes_per_s * 8.0 / 1e9
+
+
+def fmt_bytes(n: float) -> str:
+    """Human-readable size, binary prefixes (matches fio/iperf output)."""
+    n = float(n)
+    for unit, div in (("TiB", TIB), ("GiB", GIB), ("MiB", MIB), ("KiB", KIB)):
+        if abs(n) >= div:
+            return f"{n / div:.2f} {unit}"
+    return f"{n:.0f} B"
+
+
+def fmt_rate(rate_bytes_per_s: float) -> str:
+    """Human-readable rate in Gbps/Mbps, the paper's convention."""
+    bits = rate_bytes_per_s * 8.0
+    if abs(bits) >= 1e9:
+        return f"{bits / 1e9:.2f} Gbps"
+    if abs(bits) >= 1e6:
+        return f"{bits / 1e6:.2f} Mbps"
+    return f"{bits / 1e3:.2f} Kbps"
+
+
+def fmt_seconds(t: float) -> str:
+    """Human-readable duration."""
+    if t >= 60.0:
+        m, s = divmod(t, 60.0)
+        return f"{int(m)}m{s:04.1f}s"
+    if t >= 1.0:
+        return f"{t:.3f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    return f"{t * 1e6:.1f}us"

@@ -1,0 +1,51 @@
+"""Tests for the CLI (`python -m repro`) and the EXPERIMENTS.md generator."""
+
+import pathlib
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.reportgen import generate_experiments_md
+
+
+def test_cli_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig09" in out and "ablation-ssd" in out and "ext-wan-e2e" in out
+
+
+def test_cli_run_single(capsys):
+    assert main(["run", "table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "OK" in out
+
+
+def test_cli_run_unknown(capsys):
+    assert main(["run", "fig99"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment" in err
+
+
+def test_cli_run_with_seed(capsys):
+    assert main(["run", "fig04", "--seed", "3"]) == 0
+    assert "fig04" in capsys.readouterr().out
+
+
+def test_cli_report_writes_file(tmp_path, capsys):
+    out_file = tmp_path / "EXP.md"
+    assert main(["report", "-o", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "Scorecard" in text
+    assert "fig09" in text
+    assert "❌" not in text  # nothing diverges
+
+
+def test_generator_counts_checks():
+    text = generate_experiments_md(quick=True)
+    assert "Scorecard:" in text
+    # scorecard reads "N/N" with N == N (all reproduce)
+    line = next(l for l in text.splitlines() if "Scorecard" in l)
+    nums = line.split("Scorecard:")[1].split()[0]
+    ok, total = nums.split("/")
+    assert ok == total
+    assert int(total) >= 65

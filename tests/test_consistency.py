@@ -1,0 +1,142 @@
+"""Cross-granularity consistency: event-level vs fluid vs analytic.
+
+The library models the same protocols at two granularities — per-event
+(real work requests, real bytes) and fluid (long-lived flows).  These
+tests check the granularities agree where they overlap, which is the
+strongest internal-validity check the reproduction has.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.fio import FioJob, run_fio
+from repro.hw import Machine, Nic, NicKind, backend_lan_host, frontend_lan_host
+from repro.kernel import NumaPolicy, place_region
+from repro.net.link import connect
+from repro.net.topology import wire_san
+from repro.rdma import ConnectionManager, Opcode, ProtectionDomain, WorkRequest
+from repro.sim.context import Context
+from repro.storage import IoRequest, IserInitiator, IserTarget
+from repro.storage.iser import io_round_trip_latency
+from repro.util.units import GIB, MIB
+
+
+def rdma_pair(seed=81):
+    c = Context.create(seed=seed)
+    a = Machine(c, "a", pcie_sockets=(0,))
+    b = Machine(c, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    link = connect(na, nb)
+    qa, qb, hs = ConnectionManager(c).connect_pair(na, nb, name="q")
+    c.sim.run(until=hs)
+    pd_a, pd_b = ProtectionDomain(a), ProtectionDomain(b)
+    ConnectionManager.register_pd(pd_a)
+    ConnectionManager.register_pd(pd_b)
+    return c, a, b, qa, qb, pd_a, pd_b, link
+
+
+def test_per_wr_and_bulk_channel_agree_on_throughput():
+    """Posting back-to-back large WRs matches the bulk fluid channel."""
+    c, a, b, qa, qb, pd_a, pd_b, link = rdma_pair()
+    size = 256 * MIB
+    src = pd_a.register(place_region(size, NumaPolicy.bind(0), 2))
+    dst = pd_b.register(place_region(size, NumaPolicy.bind(0), 2))
+
+    # event level: 8 sequential RDMA WRITEs of 32 MiB
+    t0 = c.sim.now
+    for i in range(8):
+        wr = WorkRequest(Opcode.RDMA_WRITE, src, local_offset=0,
+                         length=32 * MIB, remote_rkey=dst.rkey)
+        c.sim.run(until=qa.post_send(wr))
+    event_rate = size / (c.sim.now - t0)
+
+    # fluid level: one open channel, measured over the same byte count
+    flow = qa.bulk_channel(src_mr=src, dst_mr=dst, size=float(size))
+    t0 = c.sim.now
+    c.fluid.start(flow)
+    c.sim.run(until=flow.done)
+    fluid_rate = size / (c.sim.now - t0)
+
+    # event level pays per-WR latency; with 32 MiB WRs that's < 1%
+    assert event_rate == pytest.approx(fluid_rate, rel=0.02)
+
+
+def test_single_io_latency_matches_analytic_round_trip():
+    """Event-level SCSI command latency ~ io_round_trip_latency + data."""
+    c = Context.create(seed=82)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wiring = wire_san(c, front, back)
+    target = IserTarget(c, back, tuning="numa", n_links=2)
+    target.create_lun(64 * MIB, store_data=True)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    dev = initiator.device(0)
+    link = wiring.links[0]
+
+    for size, is_write in ((4096, False), (4096, True), (1 * MIB, False)):
+        data = np.zeros(size, dtype=np.uint8)
+        t0 = c.sim.now
+        done = dev.submit(IoRequest(is_write, offset=0, length=size,
+                                    data=data))
+        c.sim.run(until=done)
+        measured = c.sim.now - t0
+        analytic = io_round_trip_latency(c.ctx if hasattr(c, "ctx") else c,
+                                         link, is_write)
+        # measured includes data serialization on top of the fixed part
+        assert measured >= analytic * 0.5
+        assert measured < analytic + size / 1e8 + 5e-4
+
+
+def test_fio_event_vs_fluid_same_ceiling():
+    """fio's fluid result matches serial event-level I/O extrapolation.
+
+    One synchronous thread at event level has per-I/O latency L; its
+    implied rate is block/L.  The fluid model's single-flow cap must be
+    within ~25% of that (fluid ignores some per-op latencies; event
+    level lacks pipelining)."""
+    c = Context.create(seed=83)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wire_san(c, front, back)
+    target = IserTarget(c, back, tuning="numa", n_links=2)
+    target.create_lun(256 * MIB, store_data=False)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    dev = initiator.device(0)
+    block = 4 * MIB
+
+    # event level: 16 sequential reads
+    t0 = c.sim.now
+    for i in range(16):
+        done = dev.submit(IoRequest(False, offset=i * block, length=block))
+        c.sim.run(until=done)
+    event_rate = 16 * block / (c.sim.now - t0)
+
+    # fluid level: one job, one thread
+    res = run_fio(c, front, [dev],
+                  FioJob(rw="read", block_size=block, numjobs=1,
+                         runtime=10.0))
+    assert res.bandwidth == pytest.approx(event_rate, rel=0.3)
+
+
+def test_fio_latency_and_iops_consistent():
+    c = Context.create(seed=84)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wire_san(c, front, back)
+    target = IserTarget(c, back, tuning="numa", n_links=2)
+    for _ in range(6):
+        target.create_lun(256 * MIB)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    devices = [initiator.devices[i] for i in sorted(initiator.devices)]
+    res = run_fio(c, front, devices,
+                  FioJob(rw="read", block_size=1 * MIB, numjobs=4,
+                         runtime=10.0))
+    lat = res.completion_latency()
+    # Little's law closes: outstanding = IOPS * latency
+    assert res.iops * lat == pytest.approx(res.n_flows, rel=1e-6)
+    # and the latency is physically sensible (> wire serialization)
+    assert lat > 1 * MIB / devices[0].session.link.rate

@@ -1,0 +1,177 @@
+"""Tests for buffer pools, SGLs and integrity digests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datapath import (
+    BufferPool,
+    ScatterGatherList,
+    StreamingDigest,
+    checksum,
+    verify_equal,
+)
+
+
+# --- BufferPool --------------------------------------------------------------------
+
+
+def test_pool_acquire_release_cycle():
+    pool = BufferPool(n_buffers=2, buffer_size=64)
+    a = pool.acquire()
+    b = pool.acquire()
+    assert pool.acquire() is None  # exhausted
+    a.release()
+    c = pool.acquire()
+    assert c is not None
+    assert pool.in_use == 2
+
+
+def test_pool_views_are_zero_copy():
+    pool = BufferPool(4, 64)
+    buf = pool.acquire()
+    buf.view[:] = 7
+    # the arena itself holds the bytes (no copy was made)
+    assert (pool.arena[buf.index * 64 : (buf.index + 1) * 64] == 7).all()
+    assert buf.view.base is not None  # a view, not an owning array
+
+
+def test_pool_use_after_free_detected():
+    pool = BufferPool(2, 64)
+    buf = pool.acquire()
+    buf.release()
+    with pytest.raises(RuntimeError, match="use-after-free"):
+        _ = buf.view
+
+
+def test_pool_double_free_detected():
+    pool = BufferPool(2, 64)
+    buf = pool.acquire()
+    buf.release()
+    with pytest.raises(RuntimeError, match="double free"):
+        buf.release()
+
+
+def test_pool_fill_bounds():
+    pool = BufferPool(1, 16)
+    buf = pool.acquire()
+    buf.fill(np.ones(8, dtype=np.uint8))
+    assert (buf.view[:8] == 1).all()
+    with pytest.raises(ValueError):
+        buf.fill(np.ones(32, dtype=np.uint8))
+
+
+def test_pool_recycled_slot_fresh_generation():
+    pool = BufferPool(1, 16)
+    a = pool.acquire()
+    a.release()
+    b = pool.acquire()
+    assert b.valid and not a.valid
+    assert b.index == a.index
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        BufferPool(0, 16)
+    with pytest.raises(ValueError):
+        BufferPool(1, 0)
+
+
+# --- integrity ----------------------------------------------------------------------
+
+
+def test_streaming_digest_matches_chunking():
+    data = np.arange(10000, dtype=np.int64).astype(np.uint8)
+    one = StreamingDigest().update(data).hexdigest()
+    d = StreamingDigest()
+    for i in range(0, len(data), 997):
+        d.update(data[i : i + 997])
+    assert d.hexdigest() == one
+    assert d.total_bytes == len(data)
+
+
+def test_streaming_digest_order_sensitive():
+    a = np.array([1, 2, 3], dtype=np.uint8)
+    b = np.array([3, 2, 1], dtype=np.uint8)
+    assert (
+        StreamingDigest().update(a).hexdigest()
+        != StreamingDigest().update(b).hexdigest()
+    )
+
+
+def test_checksum_detects_corruption():
+    data = np.random.default_rng(0).integers(0, 256, 4096).astype(np.uint8)
+    c1 = checksum(data)
+    data[100] ^= 0xFF
+    assert checksum(data) != c1
+
+
+def test_verify_equal():
+    a = np.arange(100, dtype=np.uint8)
+    assert verify_equal(a, a.copy())
+    assert not verify_equal(a, a[:50])
+    b = a.copy()
+    b[0] ^= 1
+    assert not verify_equal(a, b)
+
+
+# --- scatter/gather --------------------------------------------------------------------
+
+
+def test_sgl_append_and_totals():
+    sgl = ScatterGatherList()
+    sgl.append(np.zeros(10, dtype=np.uint8))
+    sgl.append(np.zeros(20, dtype=np.uint8))
+    assert sgl.n_segments == 2
+    assert sgl.total_bytes == 30
+    assert len(sgl) == 30
+
+
+def test_sgl_rejects_non_uint8():
+    sgl = ScatterGatherList()
+    with pytest.raises(ValueError):
+        sgl.append(np.zeros(4, dtype=np.float64))
+
+
+def test_sgl_digest_equals_materialized():
+    rng = np.random.default_rng(1)
+    segs = [rng.integers(0, 256, n).astype(np.uint8) for n in (10, 0, 177, 4096)]
+    sgl = ScatterGatherList(segs)
+    whole = sgl.materialize()
+    assert sgl.digest() == StreamingDigest().update(whole).hexdigest()
+
+
+def test_sgl_slice_views_no_copy():
+    base = np.arange(100, dtype=np.uint8)
+    sgl = ScatterGatherList([base[:50], base[50:]])
+    sub = sgl.slice(40, 20)
+    assert sub.total_bytes == 20
+    assert (sub.materialize() == base[40:60]).all()
+    # mutate the base; the slice sees it (it's a view)
+    base[45] = 250
+    assert sub.materialize()[5] == 250
+
+
+def test_sgl_slice_bounds():
+    sgl = ScatterGatherList([np.zeros(10, dtype=np.uint8)])
+    with pytest.raises(ValueError):
+        sgl.slice(5, 10)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=8),
+    st.data(),
+)
+@settings(max_examples=80, deadline=None)
+def test_sgl_slice_matches_materialized_property(sizes, data):
+    rng = np.random.default_rng(42)
+    segs = [rng.integers(0, 256, n).astype(np.uint8) for n in sizes]
+    sgl = ScatterGatherList(segs)
+    total = sgl.total_bytes
+    if total == 0:
+        return
+    offset = data.draw(st.integers(min_value=0, max_value=total - 1))
+    length = data.draw(st.integers(min_value=0, max_value=total - offset))
+    sub = sgl.slice(offset, length)
+    assert (sub.materialize() == sgl.materialize()[offset : offset + length]).all()

@@ -1,0 +1,90 @@
+"""Tests for dataset synthesis and the file-size transfer-time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rftp.dataset import (
+    Dataset,
+    effective_bandwidth,
+    synth_dataset,
+    transfer_time_estimate,
+)
+from repro.util.units import GB, KIB, MIB
+
+
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_bulk_dataset_shape():
+    ds = synth_dataset(rng(), 2 * GB, "bulk", bulk_file_size=256 << 20)
+    assert ds.kind == "bulk"
+    assert ds.n_files == pytest.approx(2 * GB / (256 << 20), abs=1)
+    assert ds.total_bytes == pytest.approx(2 * GB, rel=0.01)
+    assert len(set(ds.sizes)) == 1  # equal files
+
+
+def test_small_dataset_shape():
+    ds = synth_dataset(rng(), 64 * MIB, "small", small_file_size=256 * KIB)
+    assert ds.n_files == 256
+    assert ds.mean_size == pytest.approx(256 * KIB, rel=0.01)
+
+
+def test_lognormal_dataset_heavy_tail():
+    ds = synth_dataset(rng(), 2 * GB, "lognormal")
+    assert ds.total_bytes == pytest.approx(2 * GB, rel=0.01)
+    sizes = np.asarray(ds.sizes)
+    # most files are smaller than the mean (heavy tail)
+    assert np.mean(sizes < sizes.mean()) > 0.6
+
+
+def test_unknown_kind_rejected():
+    with pytest.raises(ValueError):
+        synth_dataset(rng(), GB, "zipf")
+
+
+def test_transfer_time_affine_model():
+    sizes = [MIB] * 10
+    t = transfer_time_estimate(sizes, bandwidth=1e9, per_file_overhead=0.01)
+    assert t == pytest.approx(10 * MIB / 1e9 + 10 * 0.01)
+
+
+def test_pipelining_amortizes_overhead():
+    sizes = [64 * KIB] * 1000
+    plain = transfer_time_estimate(sizes, 1e9, 1e-3, pipeline_depth=1)
+    piped = transfer_time_estimate(sizes, 1e9, 1e-3, pipeline_depth=10)
+    assert piped < plain
+    # overhead term shrinks exactly 10x
+    data = 1000 * 64 * KIB / 1e9
+    assert (plain - data) / (piped - data) == pytest.approx(10.0)
+
+
+def test_effective_bandwidth_limits():
+    big = [GB]
+    tiny = [4096] * (GB // 4096)
+    bw = 1e9
+    assert effective_bandwidth(big, bw, 1e-3) == pytest.approx(bw, rel=0.01)
+    assert effective_bandwidth(tiny, bw, 1e-3) < 0.01 * bw
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        transfer_time_estimate([1], bandwidth=0, per_file_overhead=0)
+    with pytest.raises(ValueError):
+        transfer_time_estimate([1], bandwidth=1, per_file_overhead=-1)
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=1e6, max_value=1e10),
+    st.floats(min_value=0.0, max_value=0.1),
+)
+@settings(max_examples=60, deadline=None)
+def test_goodput_never_exceeds_bandwidth(n_files, bw, ovh):
+    sizes = [MIB] * n_files
+    eff = effective_bandwidth(sizes, bw, ovh)
+    assert eff <= bw * (1 + 1e-9)
+    # and is monotone in per-file overhead
+    assert eff >= effective_bandwidth(sizes, bw, ovh + 0.01)

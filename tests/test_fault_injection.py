@@ -1,0 +1,125 @@
+"""Fault injection: link failures/degradation and system behaviour."""
+
+import pytest
+
+from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+from repro.hw import Machine, Nic, NicKind, frontend_lan_host
+from repro.net.link import connect
+from repro.net.topology import wire_frontend_lan
+from repro.sim.context import Context
+from repro.util.units import to_gbps
+
+
+def pair(seed=61):
+    ctx = Context.create(seed=seed)
+    a = Machine(ctx, "a", pcie_sockets=(0,))
+    b = Machine(ctx, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    link = connect(na, nb)
+    return ctx, a, b, link
+
+
+def test_link_fail_and_restore_flags():
+    ctx, a, b, link = pair()
+    assert not link.failed
+    link.fail()
+    assert link.failed and link.rate == 0.0
+    link.restore()
+    assert not link.failed
+    assert link.rate == pytest.approx(link._nominal_rate)
+
+
+def test_degrade_validation():
+    ctx, a, b, link = pair()
+    with pytest.raises(ValueError):
+        link.degrade(0.0)
+    with pytest.raises(ValueError):
+        link.degrade(1.5)
+
+
+def test_transfer_stalls_during_outage_and_resumes():
+    ctx, a, b, link = pair(seed=62)
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                        config=RftpConfig(streams_per_link=2))
+    xfer.start()
+
+    def chaos():
+        yield ctx.sim.timeout(5.0)
+        link.fail()
+        yield ctx.sim.timeout(5.0)
+        link.restore()
+
+    ctx.sim.process(chaos())
+    ctx.sim.run(until=5.0)
+    ctx.fluid.settle()
+    before_outage = xfer.transferred()
+    ctx.sim.run(until=10.0)
+    ctx.fluid.settle()
+    during_outage = xfer.transferred()
+    ctx.sim.run(until=15.0)
+    ctx.fluid.settle()
+    after_restore = xfer.transferred()
+    xfer.stop()
+
+    assert during_outage == pytest.approx(before_outage)  # fully stalled
+    resumed_rate = (after_restore - during_outage) / 5.0
+    assert to_gbps(resumed_rate) > 35  # back at line rate
+
+
+def test_degraded_link_caps_throughput():
+    ctx, a, b, link = pair(seed=63)
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                        config=RftpConfig(streams_per_link=2))
+    xfer.start()
+    ctx.sim.run(until=2.0)
+    link.degrade(0.25)
+    ctx.sim.run(until=2.0 + 8.0)
+    ctx.fluid.settle()
+    start = xfer.transferred()
+    ctx.sim.run(until=ctx.sim.now + 5.0)
+    ctx.fluid.settle()
+    rate = (xfer.transferred() - start) / 5.0
+    xfer.stop()
+    assert rate == pytest.approx(0.25 * link._nominal_rate, rel=0.02)
+
+
+def test_one_failed_link_of_three_drops_aggregate_by_a_third():
+    ctx = Context.create(seed=64)
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    links = wire_frontend_lan(a, b)
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                        config=RftpConfig(streams_per_link=2))
+    xfer.start()
+    ctx.sim.run(until=5.0)
+    ctx.fluid.settle()
+    healthy = xfer.transferred() / 5.0
+    links[1].fail()
+    start = xfer.transferred()
+    ctx.sim.run(until=10.0)
+    ctx.fluid.settle()
+    degraded = (xfer.transferred() - start) / 5.0
+    xfer.stop()
+    assert degraded == pytest.approx(healthy * 2.0 / 3.0, rel=0.03)
+
+
+def test_determinism_same_seed_same_result():
+    """Two identical runs produce byte-identical outcomes."""
+    results = []
+    for _ in range(2):
+        ctx, a, b, link = pair(seed=65)
+        xfer = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                            config=RftpConfig(streams_per_link=2))
+        res = xfer.run(10.0)
+        results.append((res.total_bytes,
+                        res.sender_accounting.total_seconds))
+    assert results[0] == results[1]
+
+
+def test_determinism_experiments():
+    from repro.core.experiments import exp_fig09_e2e
+
+    r1 = exp_fig09_e2e.run(quick=True, seed=5)
+    r2 = exp_fig09_e2e.run(quick=True, seed=5)
+    assert [c.measured for c in r1.checks] == [c.measured for c in r2.checks]

@@ -1,0 +1,139 @@
+"""Property tests: the fluid scheduler under dynamic arrivals/departures.
+
+The static allocation properties are covered in test_sim_fluid; these
+tests drive randomized *schedules* of flow starts, stops and capacity
+changes and assert global invariants at every sampled instant:
+
+* feasibility — no resource ever over its capacity;
+* conservation — bytes delivered equal the integral of rates;
+* monotonicity — transferred counters never decrease;
+* completion — sized flows finish exactly (never over-deliver).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FluidFlow, FluidResource, FluidScheduler, Simulator
+
+
+@st.composite
+def churn_scenario(draw):
+    n_res = draw(st.integers(min_value=1, max_value=3))
+    capacities = [draw(st.floats(min_value=10.0, max_value=1000.0))
+                  for _ in range(n_res)]
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    flows = []
+    for _ in range(n_flows):
+        start = draw(st.floats(min_value=0.0, max_value=50.0))
+        size = draw(st.one_of(
+            st.none(), st.floats(min_value=10.0, max_value=5000.0)))
+        stop_after = (
+            draw(st.floats(min_value=1.0, max_value=50.0))
+            if size is None else None
+        )
+        used = draw(st.lists(
+            st.integers(min_value=0, max_value=n_res - 1),
+            min_size=1, max_size=n_res, unique=True))
+        weights = [draw(st.floats(min_value=0.5, max_value=2.0))
+                   for _ in used]
+        cap = draw(st.one_of(st.none(),
+                             st.floats(min_value=1.0, max_value=500.0)))
+        flows.append((start, size, stop_after, list(zip(used, weights)), cap))
+    cap_changes = draw(st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=80.0),  # when
+            st.integers(min_value=0, max_value=n_res - 1),  # which
+            st.floats(min_value=5.0, max_value=1000.0),  # new capacity
+        ),
+        max_size=3,
+    ))
+    return capacities, flows, cap_changes
+
+
+@given(churn_scenario())
+@settings(max_examples=60, deadline=None)
+def test_fluid_invariants_under_churn(scenario):
+    capacities, flow_specs, cap_changes = scenario
+    sim = Simulator()
+    sched = FluidScheduler(sim)
+    resources = [FluidResource(sched, c, f"r{i}")
+                 for i, c in enumerate(capacities)]
+
+    flows = []
+
+    def starter(delay, flow, stop_after):
+        yield sim.timeout(delay)
+        sched.start(flow)
+        if stop_after is not None:
+            yield sim.timeout(stop_after)
+            if flow._active:
+                sched.stop(flow)
+
+    for i, (start, size, stop_after, path_idx, cap) in enumerate(flow_specs):
+        path = [(resources[j], w) for j, w in path_idx]
+        flow = FluidFlow(path, size=size, cap=cap, name=f"f{i}")
+        flows.append(flow)
+        sim.process(starter(start, flow, stop_after))
+
+    def capacity_changer(when, idx, new_cap):
+        yield sim.timeout(when)
+        resources[idx].set_capacity(new_cap)
+
+    for when, idx, new_cap in cap_changes:
+        sim.process(capacity_changer(when, idx, new_cap))
+
+    last_transferred = {f: 0.0 for f in flows}
+    horizon = 120.0
+    t = 0.0
+    while t < horizon:
+        t += 3.0
+        sim.run(until=t)
+        sched.settle()
+        # feasibility at this instant
+        for r in resources:
+            assert r.load <= r.capacity * (1 + 1e-6), (
+                f"{r.name} over capacity at t={t}"
+            )
+        # monotonic progress; sized flows never over-deliver
+        for f in flows:
+            assert f.transferred >= last_transferred[f] - 1e-9
+            last_transferred[f] = f.transferred
+            if f.size is not None:
+                assert f.transferred <= f.size * (1 + 1e-9)
+
+    sim.run()  # drain remaining events
+    sched.settle()
+    for f in flows:
+        if f.size is not None and f.done is not None and f.done.triggered:
+            assert f.transferred == pytest.approx(f.size, rel=1e-9)
+
+
+@given(
+    st.integers(min_value=1, max_value=6),
+    st.floats(min_value=50.0, max_value=500.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_staggered_equal_flows_complete_in_order(n_flows, capacity):
+    """Flows of equal size started in sequence finish in start order."""
+    sim = Simulator()
+    sched = FluidScheduler(sim)
+    link = FluidResource(sched, capacity, "link")
+    flows = [FluidFlow([(link, 1.0)], size=1000.0, name=f"f{i}")
+             for i in range(n_flows)]
+    finish_times = {}
+
+    def starter(i, f):
+        yield sim.timeout(i * 1.0)
+        yield sched.start(f)
+        finish_times[i] = sim.now
+
+    for i, f in enumerate(flows):
+        sim.process(starter(i, f))
+    sim.run()
+    order = [finish_times[i] for i in range(n_flows)]
+    assert order == sorted(order)
+    # total service time >= total bytes / capacity
+    assert max(order) >= n_flows * 1000.0 / capacity - 1e-9

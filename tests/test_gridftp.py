@@ -1,0 +1,77 @@
+"""Tests for the GridFTP baseline model."""
+
+import pytest
+
+from repro.apps.gridftp import GridFtp, _harmonic
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+from repro.util.units import GB, to_gbps
+
+
+def system(seed=1, tuning=None):
+    return EndToEndSystem.lan_testbed(
+        tuning or TuningPolicy.numa_bound(), seed=seed, lun_size=2 * GB
+    )
+
+
+def test_harmonic_helper():
+    assert _harmonic(2.0, 2.0) == pytest.approx(1.0)
+    assert _harmonic(None, 4.0) == pytest.approx(4.0)
+    assert _harmonic(float("inf"), 4.0) == pytest.approx(4.0)
+    assert _harmonic(0.0, 4.0) == 0.0
+    assert _harmonic() == float("inf")
+
+
+def test_gridftp_matches_paper_anchor():
+    res = system().run_gridftp_transfer(duration=20.0)
+    assert res.goodput_gbps == pytest.approx(29.0, rel=0.15)
+
+
+def test_gridftp_sys_cpu_dominates():
+    """Fig. 10: GridFTP's CPU is mostly kernel/copy (sys)."""
+    res = system(seed=2).run_gridftp_transfer(duration=15.0)
+    assert res.sender_cpu.sys > res.sender_cpu.usr
+    assert res.receiver_cpu.sys > res.receiver_cpu.usr
+
+
+def test_gridftp_scales_with_processes_then_saturates():
+    rates = {}
+    for i, n in enumerate((1, 6, 12)):
+        res = system(seed=10 + i).run_gridftp_transfer(duration=15.0,
+                                                       processes=n)
+        rates[n] = res.goodput
+    assert rates[6] > 4 * rates[1]  # near-linear at first
+    assert rates[12] < rates[6] * 1.8  # diminishing returns
+
+
+def test_gridftp_single_thread_far_below_rftp():
+    """The headline 3x gap (paper: 91 vs 29 Gbps)."""
+    sys1 = system(seed=20)
+    rftp = sys1.run_rftp_transfer(duration=15.0)
+    sys2 = system(seed=21)
+    grid = sys2.run_gridftp_transfer(duration=15.0)
+    assert rftp.goodput > 2.4 * grid.goodput
+
+
+def test_gridftp_pays_pagecache_copy():
+    res = system(seed=3).run_gridftp_transfer(duration=10.0)
+    assert res.sender_cpu.get("copy") > 0  # buffered I/O + TCP copies
+
+
+def test_gridftp_validation():
+    sys_ = system(seed=4)
+    with pytest.raises(ValueError):
+        GridFtp(sys_.ctx, sys_.host_a, sys_.host_b,
+                source_fs=sys_.fs_a, sink_fs=sys_.fs_b, processes=0)
+
+
+def test_gridftp_uncabled_host_rejected():
+    from repro.hw import Machine
+    from repro.sim.context import Context
+
+    ctx = Context.create()
+    a = Machine(ctx, "a")
+    b = Machine(ctx, "b")
+    g = GridFtp(ctx, a, b, source_fs=[], sink_fs=[], processes=1)
+    with pytest.raises(ValueError):
+        g.start()

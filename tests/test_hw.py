@@ -1,0 +1,296 @@
+"""Tests for the hardware model: topology, NICs, presets, MESI coherence."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    Machine,
+    MesiCache,
+    MesiState,
+    Nic,
+    NicKind,
+    backend_lan_host,
+    coherence_costs,
+    frontend_lan_host,
+    wan_host,
+)
+from repro.sim.context import Context
+from repro.util.units import gbps
+
+
+def ctx():
+    return Context.create(seed=1)
+
+
+# --- Machine topology ------------------------------------------------------------
+
+
+def test_machine_core_and_memory_counts():
+    m = Machine(ctx(), "m", n_sockets=2, cores_per_socket=8,
+                mem_bytes_per_node=64 << 30)
+    assert m.n_nodes == 2
+    assert m.n_cores == 16
+    assert m.total_memory_bytes == 128 << 30
+
+
+def test_socket_of_core():
+    m = Machine(ctx(), "m", n_sockets=2, cores_per_socket=8)
+    assert m.socket_of_core(0) == 0
+    assert m.socket_of_core(7) == 0
+    assert m.socket_of_core(8) == 1
+    with pytest.raises(IndexError):
+        m.socket_of_core(16)
+
+
+def test_numa_distance_matrix():
+    m = Machine(ctx(), "m", n_sockets=2, cores_per_socket=8)
+    assert m.numa_distance(0, 0) == 10
+    assert m.numa_distance(0, 1) == 21
+    assert m.numa_distance(1, 0) == 21
+
+
+def test_local_mem_path_single_bank():
+    m = Machine(ctx(), "m")
+    path = m.mem_path(0, 0, traffic=1.0)
+    assert len(path) == 1
+    assert path[0][0] is m.mem_bank(0).bandwidth
+    assert path[0][1] == 1.0
+
+
+def test_remote_mem_path_crosses_qpi_with_derate():
+    c = ctx()
+    m = Machine(c, "m")
+    path = m.mem_path(0, 1, traffic=1.0)
+    resources = [r for r, _ in path]
+    assert m.qpi(0, 1) in resources
+    assert m.mem_bank(1).bandwidth in resources
+    qpi_weight = dict((r.name, w) for r, w in path)[m.qpi(0, 1).name]
+    assert qpi_weight == pytest.approx(1.0 / c.cal.remote_access_derate)
+
+
+def test_remote_path_effective_rate_below_local():
+    """Remote access is limited by QPI, not the bank."""
+    c = ctx()
+    m = Machine(c, "m")
+    local = m.mem_path(0, 0)
+    remote = m.mem_path(0, 1)
+    local_rate = min(r.capacity / w for r, w in local)
+    remote_rate = min(r.capacity / w for r, w in remote)
+    assert remote_rate < local_rate
+
+
+def test_qpi_requires_distinct_sockets():
+    m = Machine(ctx(), "m")
+    with pytest.raises(ValueError):
+        m.qpi(0, 0)
+
+
+def test_cpu_resource_capacity_is_core_count():
+    m = Machine(ctx(), "m", cores_per_socket=8)
+    assert m.cpu_resource(0).capacity == 8.0
+
+
+def test_cpu_path_weight_is_seconds_per_byte():
+    m = Machine(ctx(), "m")
+    path = m.cpu_path(1, 2e-9)
+    assert path == [(m.cpu_resource(1), 2e-9)]
+
+
+def test_invalid_pcie_socket_rejected():
+    with pytest.raises(IndexError):
+        Machine(ctx(), "m", n_sockets=2, pcie_sockets=(5,))
+
+
+# --- NICs ----------------------------------------------------------------------
+
+
+def test_nic_occupies_slot():
+    m = Machine(ctx(), "m", pcie_sockets=(0,))
+    nic = Nic(m, m.pcie_slots[0], NicKind.ROCE_QDR)
+    assert m.pcie_slots[0].device is nic
+    with pytest.raises(ValueError):
+        Nic(m, m.pcie_slots[0], NicKind.ROCE_QDR)
+
+
+def test_nic_node_affinity():
+    m = Machine(ctx(), "m", pcie_sockets=(1,))
+    nic = Nic(m, m.pcie_slots[0], NicKind.IB_FDR)
+    assert nic.node == 1
+
+
+def test_nic_data_rate_below_line_rate():
+    m = Machine(ctx(), "m", pcie_sockets=(0, 1))
+    roce = Nic(m, m.pcie_slots[0], NicKind.ROCE_QDR, mtu=9000)
+    ib = Nic(m, m.pcie_slots[1], NicKind.IB_FDR, mtu=65520)
+    assert roce.line_rate == gbps(40.0)
+    assert ib.line_rate == gbps(56.0)
+    assert 0.9 * roce.line_rate < roce.data_rate() < roce.line_rate
+    assert 0.9 * ib.line_rate < ib.data_rate() < ib.line_rate
+
+
+def test_nic_mtu_1500_less_efficient():
+    m = Machine(ctx(), "m", pcie_sockets=(0, 1))
+    big = Nic(m, m.pcie_slots[0], NicKind.ROCE_QDR, mtu=9000)
+    small = Nic(m, m.pcie_slots[1], NicKind.ROCE_QDR, mtu=1500)
+    assert small.data_rate() < big.data_rate()
+
+
+def test_dma_paths_local_vs_remote():
+    m = Machine(ctx(), "m", pcie_sockets=(0,))
+    nic = Nic(m, m.pcie_slots[0], NicKind.ROCE_QDR)
+    local = nic.dma_read_path(buffer_node=0)
+    remote = nic.dma_read_path(buffer_node=1)
+    assert len(remote) > len(local)
+    assert local[0][0] is m.pcie_slots[0].to_device
+    assert remote[0][0] is m.pcie_slots[0].to_device
+
+
+# --- Presets (Table 1) ------------------------------------------------------------
+
+
+def test_frontend_preset_matches_table1():
+    m = frontend_lan_host(ctx(), "client")
+    assert m.n_cores == 16 and m.n_nodes == 2
+    assert m.total_memory_bytes == 128 << 30
+    nics = [s.device for s in m.pcie_slots]
+    assert len(nics) == 3
+    assert all(n.kind is NicKind.ROCE_QDR for n in nics)
+    assert {n.node for n in nics} == {0, 1}
+
+
+def test_backend_preset_matches_table1():
+    m = backend_lan_host(ctx(), "target")
+    assert m.n_cores == 16 and m.n_nodes == 2
+    assert m.total_memory_bytes == 384 << 30
+    nics = [s.device for s in m.pcie_slots]
+    assert len(nics) == 2
+    assert all(n.kind is NicKind.IB_FDR for n in nics)
+    assert {n.node for n in nics} == {0, 1}  # one per socket (Fig. 2)
+
+
+def test_wan_preset_matches_table1():
+    m = wan_host(ctx(), "nersc")
+    assert m.n_cores == 12 and m.n_nodes == 2
+    assert m.total_memory_bytes == 64 << 30
+    assert len(m.pcie_slots) == 1
+    assert m.pcie_slots[0].device.kind is NicKind.ROCE_QDR
+
+
+# --- MESI coherence ---------------------------------------------------------------
+
+
+def test_mesi_first_read_is_exclusive():
+    c = MesiCache(2)
+    out = c.read(0, agent=0)
+    assert out.state is MesiState.EXCLUSIVE
+    assert not out.remote_fetch
+
+
+def test_mesi_second_read_shares():
+    c = MesiCache(2)
+    c.read(0, 0)
+    out = c.read(0, 1)
+    assert out.state is MesiState.SHARED
+    assert c.state(0, 0) is MesiState.SHARED
+    assert out.remote_fetch
+
+
+def test_mesi_write_invalidates_remote_copies():
+    c = MesiCache(2)
+    c.read(0, 0)
+    c.read(0, 1)
+    out = c.write(0, 0)
+    assert out.state is MesiState.MODIFIED
+    assert out.invalidations == 1
+    assert c.state(0, 1) is MesiState.INVALID
+
+
+def test_mesi_write_to_exclusive_is_silent():
+    c = MesiCache(2)
+    c.read(0, 0)
+    out = c.write(0, 0)
+    assert out.invalidations == 0
+    assert c.state(0, 0) is MesiState.MODIFIED
+
+
+def test_mesi_read_of_modified_forces_writeback():
+    c = MesiCache(2)
+    c.write(0, 0)
+    out = c.read(0, 1)
+    assert out.writeback
+    assert c.state(0, 0) is MesiState.SHARED
+    assert c.state(0, 1) is MesiState.SHARED
+
+
+def test_mesi_repeated_write_free():
+    c = MesiCache(2)
+    c.write(0, 0)
+    out = c.write(0, 0)
+    assert out.invalidations == 0 and not out.remote_fetch
+
+
+def test_mesi_evict_reports_dirty():
+    c = MesiCache(2)
+    c.write(0, 0)
+    assert c.evict(0, 0) is True
+    assert c.evict(0, 0) is False
+
+
+def test_mesi_validation():
+    with pytest.raises(ValueError):
+        MesiCache(0)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["r", "w"]),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=5),
+        ),
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_mesi_invariant_single_writer_multiple_readers(ops):
+    """SWMR: at most one M/E copy per line; M excludes all other copies."""
+    cache = MesiCache(4)
+    for op, agent, line in ops:
+        if op == "r":
+            cache.read(line, agent)
+        else:
+            cache.write(line, agent)
+        states = [cache.state(line, a) for a in range(4)]
+        exclusive = [s for s in states if s in (MesiState.MODIFIED, MesiState.EXCLUSIVE)]
+        assert len(exclusive) <= 1
+        if MesiState.MODIFIED in states or MesiState.EXCLUSIVE in states:
+            valid = [s for s in states if s is not MesiState.INVALID]
+            assert len(valid) == 1
+
+
+# --- fluid coherence aggregate ------------------------------------------------------
+
+
+def test_coherence_reads_are_free():
+    from repro.core.calibration import CALIBRATION
+
+    costs = coherence_costs(CALIBRATION, 0.5, is_write=False)
+    assert costs.cpu_per_byte == 0.0
+    assert costs.qpi_traffic_factor == 0.0
+
+
+def test_coherence_writes_scale_with_remote_fraction():
+    from repro.core.calibration import CALIBRATION
+
+    low = coherence_costs(CALIBRATION, 0.0, is_write=True)
+    high = coherence_costs(CALIBRATION, 0.5, is_write=True)
+    assert high.cpu_per_byte > low.cpu_per_byte
+    assert high.qpi_traffic_factor > low.qpi_traffic_factor == 0.0
+
+
+def test_coherence_fraction_validated():
+    from repro.core.calibration import CALIBRATION
+
+    with pytest.raises(ValueError):
+        coherence_costs(CALIBRATION, 1.5, is_write=True)

@@ -1,0 +1,73 @@
+"""The machine model generalizes past two sockets (4-node boxes)."""
+
+import pytest
+
+from repro.hw import Machine, MesiCache, MesiState
+from repro.kernel import NumaPolicy, place_region
+from repro.sim.context import Context
+from repro.sim.fluid import FluidFlow
+
+
+def quad():
+    ctx = Context.create(seed=41)
+    return ctx, Machine(ctx, "quad", n_sockets=4, cores_per_socket=8,
+                        mem_bytes_per_node=64 << 30)
+
+
+def test_quad_socket_topology():
+    ctx, m = quad()
+    assert m.n_nodes == 4
+    assert m.n_cores == 32
+    assert m.socket_of_core(31) == 3
+    # 12 directed QPI links between 4 sockets
+    pairs = [(a, b) for a in range(4) for b in range(4) if a != b]
+    for a, b in pairs:
+        assert m.qpi(a, b) is not m.qpi(b, a)
+
+
+def test_quad_socket_policies():
+    p = NumaPolicy.default()
+    assert p.execution_fractions(4) == {n: 0.25 for n in range(4)}
+    b = NumaPolicy.biased(2, 0.7)
+    fracs = b.execution_fractions(4)
+    assert fracs[2] == pytest.approx(0.7)
+    assert fracs[0] == pytest.approx(0.1)
+    placement = place_region(1 << 20, NumaPolicy.interleave(0, 1, 2, 3), 4)
+    assert placement.node_fractions() == {n: 0.25 for n in range(4)}
+
+
+def test_quad_socket_remote_paths_use_correct_qpi():
+    ctx, m = quad()
+    path = m.mem_path(1, 3)
+    resources = [r for r, _ in path]
+    assert m.qpi(1, 3) in resources
+    assert m.mem_bank(3).bandwidth in resources
+    assert m.qpi(3, 1) not in resources
+
+
+def test_quad_socket_independent_local_bandwidth():
+    """Four node-local flows each get their full bank (no interference)."""
+    ctx, m = quad()
+    flows = []
+    for n in range(4):
+        f = FluidFlow([(m.mem_bank(n).bandwidth, 1.0)], size=None,
+                      name=f"f{n}")
+        ctx.fluid.start(f)
+        flows.append(f)
+    ctx.sim.run(until=1.0)
+    ctx.fluid.settle()
+    cap = ctx.cal.mem_bandwidth_per_node
+    for f in flows:
+        assert f.transferred == pytest.approx(cap, rel=1e-6)
+    for f in flows:
+        ctx.fluid.stop(f)
+
+
+def test_mesi_scales_to_four_agents():
+    cache = MesiCache(4)
+    for agent in range(4):
+        cache.read(0, agent)
+    assert len(cache.sharers(0)) == 4
+    out = cache.write(0, 0)
+    assert out.invalidations == 3
+    assert cache.state(0, 0) is MesiState.MODIFIED

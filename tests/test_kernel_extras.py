@@ -1,0 +1,113 @@
+"""Tests for the BIASED policy, execution-local memory and sparklines."""
+
+import pytest
+
+from repro.hw import Machine
+from repro.kernel import NumaPolicy, SimProcess, WorkItem, build_thread_path
+from repro.kernel.numa import NumaPolicyKind
+from repro.sim.context import Context
+from repro.sim.trace import TimeSeries
+
+
+def machine():
+    return Machine(Context.create(seed=51), "m", pcie_sockets=(0,))
+
+
+# --- BIASED policy ---------------------------------------------------------------
+
+
+def test_biased_execution_fractions():
+    p = NumaPolicy.biased(1, 0.7)
+    assert p.execution_fractions(2) == {0: pytest.approx(0.3),
+                                        1: pytest.approx(0.7)}
+
+
+def test_biased_allocation_all_home():
+    p = NumaPolicy.biased(0, 0.7)
+    assert p.allocation_fractions(2) == {0: 1.0}
+
+
+def test_biased_single_node_machine():
+    p = NumaPolicy.biased(0, 0.7)
+    assert p.execution_fractions(1) == {0: 1.0}
+
+
+def test_biased_validation():
+    with pytest.raises(ValueError):
+        NumaPolicy.biased(0, home_fraction=0.0)
+    with pytest.raises(ValueError):
+        NumaPolicy.biased(0, home_fraction=1.5)
+    with pytest.raises(ValueError):
+        NumaPolicy(NumaPolicyKind.BIASED, (0, 1))
+    p = NumaPolicy.biased(5)
+    with pytest.raises(ValueError):
+        p.execution_fractions(2)
+
+
+def test_biased_thread_has_no_single_home():
+    m = machine()
+    proc = SimProcess(m, "p", cpu_policy=NumaPolicy.biased(0, 0.7))
+    t = proc.spawn_thread()
+    assert t.home_node() is None  # split across nodes
+    fracs = t.execution_fractions()
+    assert fracs[0] == pytest.approx(0.7)
+
+
+# --- execution-local memory (mem_local) ----------------------------------------------
+
+
+def test_mem_local_never_crosses_qpi():
+    m = machine()
+    proc = SimProcess(m, "p", cpu_policy=NumaPolicy.default())
+    t = proc.spawn_thread()
+    item = WorkItem("skb write", cpu_per_byte=1e-10,
+                    mem_traffic=(WorkItem.mem_local(3.0),))
+    spec = build_thread_path(t, [item])
+    assert not any(getattr(r, "kind", None) == "qpi" for r, _ in spec.path)
+    # traffic split across both banks per execution fractions
+    w0 = sum(w for r, w in spec.path if r is m.mem_bank(0).bandwidth)
+    w1 = sum(w for r, w in spec.path if r is m.mem_bank(1).bandwidth)
+    assert w0 == pytest.approx(1.5)
+    assert w1 == pytest.approx(1.5)
+
+
+def test_mem_explicit_can_cross_qpi():
+    m = machine()
+    proc = SimProcess(m, "p", cpu_policy=NumaPolicy.default())
+    t = proc.spawn_thread()
+    item = WorkItem("buffer read", cpu_per_byte=1e-10,
+                    mem_traffic=(WorkItem.mem({0: 1.0}, 1.0),))
+    spec = build_thread_path(t, [item])
+    assert any(getattr(r, "kind", None) == "qpi" for r, _ in spec.path)
+
+
+# --- sparkline -----------------------------------------------------------------------
+
+
+def test_sparkline_shape():
+    ts = TimeSeries("x")
+    for i in range(100):
+        ts.record(float(i), float(i))
+    line = ts.sparkline(width=10)
+    assert len(line) == 10
+    assert line[0] != line[-1]  # rising series
+    assert line[-1] == "█"
+
+
+def test_sparkline_flat_series():
+    ts = TimeSeries("x")
+    for i in range(10):
+        ts.record(float(i), 5.0)
+    line = ts.sparkline(width=5)
+    assert len(set(line)) == 1  # all the same height
+
+
+def test_sparkline_empty():
+    assert TimeSeries("x").sparkline() == ""
+
+
+def test_sparkline_short_series():
+    ts = TimeSeries("x")
+    ts.record(0.0, 1.0)
+    ts.record(1.0, 2.0)
+    assert len(ts.sparkline(width=60)) == 2

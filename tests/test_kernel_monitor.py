@@ -1,0 +1,67 @@
+"""Tests for getrusage and the host monitor."""
+
+import pytest
+
+from repro.apps.iperf import run_iperf
+from repro.hw import Machine, frontend_lan_host
+from repro.kernel import NumaPolicy, SimProcess
+from repro.kernel.monitor import HostMonitor, Rusage, getrusage
+from repro.net.topology import wire_frontend_lan
+from repro.sim.context import Context
+from repro.sim.fluid import FluidFlow
+
+
+def test_getrusage_thread_split():
+    ctx = Context.create()
+    m = Machine(ctx, "m")
+    t = SimProcess(m, "p").spawn_thread()
+    t.accounting.add("usr_proto", 2.0)
+    t.accounting.add("copy", 3.0)
+    ru = getrusage(t)
+    assert ru == Rusage(ru_utime=2.0, ru_stime=3.0)
+    assert ru.total == 5.0
+
+
+def test_getrusage_process_merges_threads():
+    ctx = Context.create()
+    m = Machine(ctx, "m")
+    p = SimProcess(m, "p")
+    t1, t2 = p.spawn_thread(), p.spawn_thread()
+    t1.accounting.add("load", 1.0)
+    t2.accounting.add("sys_proto", 2.0)
+    ru = getrusage(p)
+    assert ru.ru_utime == pytest.approx(1.0)
+    assert ru.ru_stime == pytest.approx(2.0)
+
+
+def test_host_monitor_tracks_utilization():
+    ctx = Context.create(seed=1)
+    m = Machine(ctx, "m")
+    monitor = HostMonitor(m, interval=0.5)
+    # saturate node 0's memory with a raw fluid flow
+    flow = FluidFlow([(m.mem_bank(0).bandwidth, 1.0)], size=None, name="burn")
+    ctx.fluid.start(flow)
+    ctx.sim.run(until=5.0)
+    ctx.fluid.settle()
+    assert len(monitor.cpu[0]) >= 9
+    assert monitor.mem[0].mean() == pytest.approx(1.0, abs=0.01)
+    assert monitor.mem[1].mean() == pytest.approx(0.0, abs=0.01)
+    assert monitor.hottest_resource() == "mem0"
+    ctx.fluid.stop(flow)
+    monitor.stop()
+
+
+def test_host_monitor_identifies_iperf_bottleneck():
+    """The tuned iperf run is memory-bound, and the monitor sees it."""
+    ctx = Context.create(seed=2)
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    wire_frontend_lan(a, b)
+    monitor = HostMonitor(a, interval=1.0)
+    run_iperf(ctx, a, b, duration=10.0, numa_tuned=True)
+    hottest = monitor.hottest_resource()
+    assert hottest.startswith("mem")
+    # memory nearly saturated, CPU clearly not
+    assert monitor.mem[0].max() > 0.95
+    assert max(s.max() for s in monitor.cpu.values()) < 0.9
+    monitor.stop()

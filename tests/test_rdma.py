@@ -1,0 +1,284 @@
+"""Tests for the RDMA verbs model."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Machine, Nic, NicKind
+from repro.kernel import NumaPolicy, place_region
+from repro.net.link import connect
+from repro.rdma import (
+    CompletionQueue,
+    ConnectionManager,
+    Opcode,
+    ProtectionDomain,
+    QueuePair,
+    WorkRequest,
+    WrStatus,
+)
+from repro.sim.context import Context
+from repro.util.units import to_gbps
+
+
+def setup_pair(seed=9, mtu=9000):
+    c = Context.create(seed=seed)
+    a = Machine(c, "a", pcie_sockets=(0,))
+    b = Machine(c, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR, mtu=mtu)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR, mtu=mtu)
+    link = connect(na, nb, delay=83e-6)
+    cm = ConnectionManager(c)
+    qp_a, qp_b, hs = cm.connect_pair(na, nb, name="qp0")
+    c.sim.run(until=hs)
+    pd_a, pd_b = ProtectionDomain(a), ProtectionDomain(b)
+    ConnectionManager.register_pd(pd_a)
+    ConnectionManager.register_pd(pd_b)
+    return c, a, b, qp_a, qp_b, pd_a, pd_b, link
+
+
+def region(machine, size, node=0):
+    return place_region(size, NumaPolicy.bind(node), machine.n_nodes)
+
+
+def mr_with_data(pd, machine, size, fill=None, node=0):
+    data = np.zeros(size, dtype=np.uint8)
+    if fill is not None:
+        data[:] = fill
+    return pd.register(region(machine, size, node), data=data)
+
+
+# --- connection management -------------------------------------------------------
+
+
+def test_handshake_takes_three_trips():
+    c = Context.create()
+    a = Machine(c, "a", pcie_sockets=(0,))
+    b = Machine(c, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    link = connect(na, nb, delay=1e-3)
+    qp_a, qp_b, hs = ConnectionManager(c).connect_pair(na, nb, name="qp")
+    assert not qp_a.connected
+    c.sim.run(until=hs)
+    assert c.sim.now == pytest.approx(3e-3)
+    assert qp_a.connected and qp_b.connected
+    assert qp_a.peer is qp_b
+
+
+def test_connect_uncabled_nics_rejected():
+    c = Context.create()
+    a = Machine(c, "a", pcie_sockets=(0, 1))
+    na0 = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    na1 = Nic(a, a.pcie_slots[1], NicKind.ROCE_QDR)
+    with pytest.raises(ValueError):
+        ConnectionManager(c).connect_pair(na0, na1)
+
+
+def test_post_on_unconnected_qp_rejected():
+    c = Context.create()
+    a = Machine(c, "a", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    qp = QueuePair(c, na, CompletionQueue(c))
+    pd = ProtectionDomain(a)
+    mr = pd.register(region(a, 4096))
+    with pytest.raises(RuntimeError):
+        qp.post_send(WorkRequest(Opcode.SEND, mr, length=64))
+
+
+# --- SEND / RECV -------------------------------------------------------------------
+
+
+def test_send_recv_moves_real_bytes():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 4096, fill=7)
+    dst = mr_with_data(pd_b, b, 4096, fill=0)
+    qp_b.post_recv(WorkRequest(Opcode.RECV, dst, length=4096))
+    done = qp_a.post_send(WorkRequest(Opcode.SEND, src, length=4096))
+    completion = c.sim.run(until=done)
+    assert completion.status is WrStatus.SUCCESS
+    assert (dst.data == 7).all()
+    # receiver CQ got its completion too
+    rc = qp_b.recv_cq.poll()
+    assert rc is not None and rc.opcode is Opcode.RECV
+
+
+def test_send_without_recv_fails():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 4096)
+    done = qp_a.post_send(WorkRequest(Opcode.SEND, src, length=4096))
+    completion = c.sim.run(until=done)
+    assert completion.status is WrStatus.RECV_NOT_POSTED
+
+
+def test_send_too_big_for_recv_fails():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 4096)
+    dst = mr_with_data(pd_b, b, 1024)
+    qp_b.post_recv(WorkRequest(Opcode.RECV, dst, length=1024))
+    done = qp_a.post_send(WorkRequest(Opcode.SEND, src, length=4096))
+    completion = c.sim.run(until=done)
+    assert completion.status is WrStatus.REMOTE_ACCESS_ERROR
+
+
+def test_recv_wrong_opcode_rejected():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 64)
+    with pytest.raises(ValueError):
+        qp_b.post_recv(WorkRequest(Opcode.SEND, src, length=64))
+    with pytest.raises(ValueError):
+        qp_a.post_send(WorkRequest(Opcode.RECV, src, length=64))
+
+
+# --- one-sided ops ------------------------------------------------------------------
+
+
+def test_rdma_write_moves_bytes_without_recv():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 8192, fill=3)
+    dst = mr_with_data(pd_b, b, 8192, fill=0)
+    wr = WorkRequest(
+        Opcode.RDMA_WRITE, src, length=8192, remote_rkey=dst.rkey, remote_offset=0
+    )
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.SUCCESS
+    assert (dst.data == 3).all()
+
+
+def test_rdma_write_bad_rkey_fails():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 4096)
+    wr = WorkRequest(Opcode.RDMA_WRITE, src, length=4096, remote_rkey=0xDEAD)
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.REMOTE_ACCESS_ERROR
+
+
+def test_rdma_write_range_overflow_fails():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 4096)
+    dst = mr_with_data(pd_b, b, 1024)
+    wr = WorkRequest(
+        Opcode.RDMA_WRITE, src, length=4096, remote_rkey=dst.rkey, remote_offset=0
+    )
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.REMOTE_ACCESS_ERROR
+
+
+def test_rdma_read_fetches_remote_bytes():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    local = mr_with_data(pd_a, a, 4096, fill=0)
+    remote = mr_with_data(pd_b, b, 4096, fill=9)
+    wr = WorkRequest(
+        Opcode.RDMA_READ, local, length=4096, remote_rkey=remote.rkey
+    )
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.SUCCESS
+    assert (local.data == 9).all()
+
+
+def test_rdma_read_slower_than_write():
+    """RDMA READ pays a request trip + derate (paper §4.2)."""
+    c1 = setup_pair(seed=1)
+    c2 = setup_pair(seed=2)
+    size = 64 << 20
+
+    cw, aw, bw, qpw, _, pdw_a, pdw_b, _ = c1
+    src = pdw_a.register(region(aw, size))
+    dst = pdw_b.register(region(bw, size))
+    t0 = cw.sim.now
+    wr = WorkRequest(Opcode.RDMA_WRITE, src, length=size, remote_rkey=dst.rkey)
+    cw.sim.run(until=qpw.post_send(wr))
+    write_time = cw.sim.now - t0
+
+    cr, ar, br, qpr, _, pdr_a, pdr_b, _ = c2
+    local = pdr_a.register(region(ar, size))
+    remote = pdr_b.register(region(br, size))
+    t0 = cr.sim.now
+    wr = WorkRequest(Opcode.RDMA_READ, local, length=size, remote_rkey=remote.rkey)
+    cr.sim.run(until=qpr.post_send(wr))
+    read_time = cr.sim.now - t0
+
+    assert read_time > write_time
+    # derate is ~7%: read time should be 5-15% above write time
+    assert read_time / write_time == pytest.approx(1.0 / 0.93, rel=0.05)
+
+
+def test_local_protection_error():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 1024)
+    wr = WorkRequest(Opcode.SEND, src, local_offset=512, length=1024)
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.LOCAL_PROTECTION_ERROR
+
+
+def test_deregistered_mr_rejected():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, _ = setup_pair()
+    src = mr_with_data(pd_a, a, 1024)
+    dst = mr_with_data(pd_b, b, 1024)
+    dst.deregister()
+    wr = WorkRequest(
+        Opcode.RDMA_WRITE, src, length=1024, remote_rkey=dst.rkey
+    )
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.REMOTE_ACCESS_ERROR
+
+
+# --- throughput ------------------------------------------------------------------------
+
+
+def test_large_write_approaches_link_rate():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, link = setup_pair()
+    size = 1 << 30
+    src = pd_a.register(region(a, size))
+    dst = pd_b.register(region(b, size))
+    t0 = c.sim.now
+    wr = WorkRequest(Opcode.RDMA_WRITE, src, length=size, remote_rkey=dst.rkey)
+    c.sim.run(until=qp_a.post_send(wr))
+    rate = size / (c.sim.now - t0)
+    assert rate == pytest.approx(link.rate, rel=0.01)
+    assert to_gbps(rate) > 38
+
+
+def test_bulk_channel_zero_copy_throughput():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, link = setup_pair()
+    src = pd_a.register(region(a, 1 << 30))
+    dst = pd_b.register(region(b, 1 << 30))
+    flow = qp_a.bulk_channel(src_mr=src, dst_mr=dst, size=None, name="bulk")
+    c.fluid.start(flow)
+    c.sim.run(until=10.0)
+    c.fluid.settle()
+    rate = flow.transferred / (10.0 - 3 * link.delay)
+    assert rate == pytest.approx(link.rate, rel=0.02)
+    c.fluid.stop(flow)
+
+
+def test_bulk_channel_read_derated():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, link = setup_pair()
+    src = pd_a.register(region(a, 1 << 30))
+    dst = pd_b.register(region(b, 1 << 30))
+    wflow = qp_a.bulk_channel(src_mr=src, dst_mr=dst, opcode=Opcode.RDMA_WRITE)
+    c.fluid.start(wflow)
+    c.sim.run(until=5.0)
+    c.fluid.settle()
+    wrate = wflow.transferred / 5.0
+    c.fluid.stop(wflow)
+    rflow = qp_b.bulk_channel(src_mr=dst, dst_mr=src, opcode=Opcode.RDMA_READ)
+    t0 = c.sim.now
+    c.fluid.start(rflow)
+    c.sim.run(until=t0 + 5.0)
+    c.fluid.settle()
+    rrate = rflow.transferred / 5.0
+    c.fluid.stop(rflow)
+    assert rrate < wrate
+    assert rrate / wrate == pytest.approx(0.93, rel=0.02)
+
+
+def test_small_message_is_latency_bound():
+    c, a, b, qp_a, qp_b, pd_a, pd_b, link = setup_pair()
+    src = mr_with_data(pd_a, a, 256)
+    dst = mr_with_data(pd_b, b, 256)
+    qp_b.post_recv(WorkRequest(Opcode.RECV, dst, length=256))
+    t0 = c.sim.now
+    c.sim.run(until=qp_a.post_send(WorkRequest(Opcode.SEND, src, length=256)))
+    elapsed = c.sim.now - t0
+    # dominated by op latency + one propagation delay, well under 1 ms
+    assert elapsed < 1e-3
+    assert elapsed >= link.delay

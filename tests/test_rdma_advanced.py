@@ -1,0 +1,153 @@
+"""Tests for advanced verbs: QP state machine, flush, scatter/gather."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Machine, Nic, NicKind
+from repro.kernel import NumaPolicy, place_region
+from repro.net.link import connect
+from repro.rdma import (
+    CompletionQueue,
+    ConnectionManager,
+    Opcode,
+    ProtectionDomain,
+    WorkRequest,
+    WrStatus,
+)
+from repro.rdma.verbs import QpState, Sge
+from repro.sim.context import Context
+
+
+def setup_pair(seed=1):
+    c = Context.create(seed=seed)
+    a = Machine(c, "a", pcie_sockets=(0,))
+    b = Machine(c, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb, delay=83e-6)
+    qp_a, qp_b, hs = ConnectionManager(c).connect_pair(na, nb, name="q")
+    c.sim.run(until=hs)
+    pd_a, pd_b = ProtectionDomain(a), ProtectionDomain(b)
+    ConnectionManager.register_pd(pd_a)
+    ConnectionManager.register_pd(pd_b)
+    return c, a, b, qp_a, qp_b, pd_a, pd_b
+
+
+def mr(pd, machine, size, fill=None):
+    data = np.zeros(size, dtype=np.uint8)
+    if fill is not None:
+        data[:] = fill
+    return pd.register(place_region(size, NumaPolicy.bind(0), 2), data=data)
+
+
+# --- QP state machine -----------------------------------------------------------
+
+
+def test_qp_starts_reset_then_rts():
+    c = Context.create()
+    a = Machine(c, "a", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    qp = __import__("repro.rdma.verbs", fromlist=["QueuePair"]).QueuePair(
+        c, na, CompletionQueue(c))
+    assert qp.state is QpState.RESET
+    assert not qp.connected
+
+
+def test_error_state_flushes_posted_receives():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair()
+    buf = mr(pd_b, b, 4096)
+    qp_b.post_recv(WorkRequest(Opcode.RECV, buf, length=4096))
+    qp_b.post_recv(WorkRequest(Opcode.RECV, buf, length=4096))
+    flushed = qp_b.set_error()
+    assert len(flushed) == 2
+    assert all(f.status is WrStatus.WR_FLUSH_ERR for f in flushed)
+    assert qp_b.state is QpState.ERROR
+    # the CQ saw them too
+    assert qp_b.recv_cq.poll().status is WrStatus.WR_FLUSH_ERR
+
+
+def test_post_send_to_errored_qp_flushes():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=2)
+    src = mr(pd_a, a, 4096)
+    qp_a.set_error()
+    completion = c.sim.run(until=qp_a.post_send(
+        WorkRequest(Opcode.SEND, src, length=4096)))
+    assert completion.status is WrStatus.WR_FLUSH_ERR
+
+
+def test_post_recv_to_errored_qp_flushes():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=3)
+    buf = mr(pd_b, b, 4096)
+    qp_b.set_error()
+    qp_b.post_recv(WorkRequest(Opcode.RECV, buf, length=4096))
+    assert qp_b.recv_cq.poll().status is WrStatus.WR_FLUSH_ERR
+
+
+def test_mid_flight_error_flushes_in_progress_wr():
+    """An error raised between post and execution flushes the WR."""
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=4)
+    src = mr(pd_a, a, 1 << 20, fill=1)
+    dst = mr(pd_b, b, 1 << 20)
+    done = qp_a.post_send(WorkRequest(
+        Opcode.RDMA_WRITE, src, length=1 << 20, remote_rkey=dst.rkey))
+    qp_a.set_error()  # before the doorbell latency elapses
+    completion = c.sim.run(until=done)
+    assert completion.status is WrStatus.WR_FLUSH_ERR
+    assert (dst.data == 0).all()  # nothing was delivered
+
+
+# --- scatter/gather -----------------------------------------------------------------
+
+
+def test_wr_validation():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=5)
+    buf = mr(pd_a, a, 64)
+    with pytest.raises(ValueError, match="local_mr or sge_list"):
+        WorkRequest(Opcode.SEND)
+    with pytest.raises(ValueError, match="not both"):
+        WorkRequest(Opcode.SEND, buf, sge_list=(Sge(buf, 0, 8),))
+
+
+def test_sge_length_is_sum_of_segments():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=6)
+    m1, m2 = mr(pd_a, a, 100), mr(pd_a, a, 200)
+    wr = WorkRequest(Opcode.SEND,
+                     sge_list=(Sge(m1, 0, 100), Sge(m2, 50, 150)))
+    assert wr.length == 250
+    assert len(wr.segments()) == 2
+
+
+def test_sge_send_gathers_real_bytes():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=7)
+    m1 = mr(pd_a, a, 100, fill=1)
+    m2 = mr(pd_a, a, 100, fill=2)
+    dst = mr(pd_b, b, 200)
+    qp_b.post_recv(WorkRequest(Opcode.RECV, dst, length=200))
+    wr = WorkRequest(Opcode.SEND, sge_list=(Sge(m1, 0, 100), Sge(m2, 0, 100)))
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.SUCCESS
+    assert (dst.data[:100] == 1).all()
+    assert (dst.data[100:] == 2).all()
+
+
+def test_sge_rdma_write_gathers():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=8)
+    m1 = mr(pd_a, a, 4096, fill=5)
+    m2 = mr(pd_a, a, 4096, fill=6)
+    dst = mr(pd_b, b, 8192)
+    wr = WorkRequest(Opcode.RDMA_WRITE, remote_rkey=dst.rkey,
+                     sge_list=(Sge(m1, 0, 4096), Sge(m2, 0, 4096)))
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.SUCCESS
+    assert (dst.data[:4096] == 5).all()
+    assert (dst.data[4096:] == 6).all()
+
+
+def test_sge_out_of_range_segment_fails_locally():
+    c, a, b, qp_a, qp_b, pd_a, pd_b = setup_pair(seed=9)
+    m1 = mr(pd_a, a, 64)
+    dst = mr(pd_b, b, 512)
+    wr = WorkRequest(Opcode.RDMA_WRITE, remote_rkey=dst.rkey,
+                     sge_list=(Sge(m1, 32, 64),))  # overruns m1
+    completion = c.sim.run(until=qp_a.post_send(wr))
+    assert completion.status is WrStatus.LOCAL_PROTECTION_ERROR

@@ -1,0 +1,278 @@
+"""Tests for RFTP: protocol framing, fluid transfers, real-byte integrity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.rftp import (
+    BlockDescriptor,
+    CreditGrant,
+    FileRequest,
+    RftpConfig,
+    RftpTransfer,
+    TransferComplete,
+    decode_message,
+    rftp_send_file,
+)
+from repro.apps.rftp.protocol import RftpProtocolError
+from repro.datapath.integrity import StreamingDigest
+from repro.fs import O_RDONLY, O_RDWR, XfsFileSystem
+from repro.hw import Machine, Nic, NicKind, frontend_lan_host, wan_host
+from repro.kernel import NumaPolicy, place_region
+from repro.net.link import connect
+from repro.net.topology import wire_frontend_lan, wire_wan
+from repro.sim.context import Context
+from repro.storage import RamDisk
+from repro.util.units import KIB, MIB, to_gbps
+
+
+# --- protocol framing -----------------------------------------------------------
+
+
+def test_file_request_round_trip():
+    req = FileRequest(path="data/run-42.bin", size=1 << 40, block_size=4 * MIB)
+    assert decode_message(req.encode()) == req
+
+
+def test_block_descriptor_round_trip():
+    d = BlockDescriptor(sequence=7, offset=3 << 30, length=4 * MIB,
+                        rkey=0xDEADBEEF, crc32=0x12345678)
+    assert decode_message(d.encode()) == d
+
+
+def test_credit_grant_round_trip():
+    g = CreditGrant(credits=16)
+    assert decode_message(g.encode()) == g
+
+
+def test_transfer_complete_round_trip():
+    t = TransferComplete(n_blocks=1000, digest_hex="ab" * 16)
+    assert decode_message(t.encode()) == t
+
+
+def test_decode_junk_rejected():
+    with pytest.raises(RftpProtocolError):
+        decode_message(b"")
+    with pytest.raises(RftpProtocolError):
+        decode_message(bytes([0x99, 0, 0]))
+    with pytest.raises(RftpProtocolError):
+        decode_message(bytes([0x02, 0, 0]))  # truncated descriptor
+
+
+def test_protocol_validation():
+    with pytest.raises(RftpProtocolError):
+        FileRequest(path="", size=10, block_size=1).encode()
+    with pytest.raises(RftpProtocolError):
+        BlockDescriptor(0, 0, 0, 0, 0).encode()
+    with pytest.raises(RftpProtocolError):
+        CreditGrant(0).encode()
+    with pytest.raises(RftpProtocolError):
+        TransferComplete(1, "zz").encode()
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=1, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+@settings(max_examples=150, deadline=None)
+def test_block_descriptor_property(seq, offset, length, rkey, crc):
+    d = BlockDescriptor(seq, offset, length, rkey % (1 << 64), crc)
+    assert decode_message(d.encode()) == d
+
+
+@given(st.text(min_size=1, max_size=60).filter(lambda s: len(s.encode()) <= 255),
+       st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.integers(min_value=1, max_value=(1 << 63)))
+@settings(max_examples=100, deadline=None)
+def test_file_request_property(path, size, bs):
+    req = FileRequest(path=path, size=size, block_size=bs)
+    assert decode_message(req.encode()) == req
+
+
+# --- fluid transfer --------------------------------------------------------------
+
+
+def test_rftp_zero_to_null_single_link():
+    ctx = Context.create(seed=1)
+    a = Machine(ctx, "a", pcie_sockets=(0,))
+    b = Machine(ctx, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb)
+    res = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                       config=RftpConfig(streams_per_link=2)).run(10.0)
+    # fills the 40G link (paper Fig. 4 setup: both tools hit 39 Gbps)
+    assert to_gbps(res.goodput) == pytest.approx(39.5, rel=0.03)
+    assert res.sender_accounting.total_seconds > 0
+    # zero-copy: no copy category at all
+    assert "copy" not in res.sender_accounting.seconds_by_category()
+
+
+def test_rftp_three_links_aggregate():
+    ctx = Context.create(seed=2)
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    wire_frontend_lan(a, b)
+    res = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                       config=RftpConfig(streams_per_link=2)).run(10.0)
+    assert to_gbps(res.goodput) > 100  # 3 x ~39.5
+    assert len(res.per_link_bytes) == 3
+
+
+def test_rftp_wan_credit_limit():
+    """On the 95 ms path a single small-block stream is credit-capped."""
+    ctx = Context.create(seed=3)
+    nersc, anl = wan_host(ctx, "n"), wan_host(ctx, "a")
+    wire_wan(nersc, anl)
+    bs = 256 * KIB
+    res = RftpTransfer(
+        ctx, nersc, anl, source="zero", sink="null",
+        config=RftpConfig(block_size=bs, streams_per_link=1),
+    ).run(20.0)
+    expected = ctx.cal.rftp_credits_per_stream * bs / 0.095
+    assert res.goodput == pytest.approx(expected, rel=0.1)
+
+
+def test_rftp_wan_many_streams_fill_link():
+    ctx = Context.create(seed=4)
+    nersc, anl = wan_host(ctx, "n"), wan_host(ctx, "a")
+    link = wire_wan(nersc, anl)
+    res = RftpTransfer(
+        ctx, nersc, anl, source="zero", sink="null",
+        config=RftpConfig(block_size=16 * MIB, streams_per_link=8),
+    ).run(20.0)
+    assert res.goodput > 0.9 * link.rate  # paper: 97% of raw
+
+
+def test_rftp_sized_transfer_completes():
+    ctx = Context.create(seed=5)
+    a = Machine(ctx, "a", pcie_sockets=(0,))
+    b = Machine(ctx, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb)
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null")
+    xfer.start(size=1e9)
+    flows = ctx.sim.run(until=xfer.ready)
+    for f in flows:
+        ctx.sim.run(until=f.done)
+    assert xfer.transferred() == pytest.approx(1e9)
+
+
+def test_rftp_double_start_rejected():
+    ctx = Context.create(seed=6)
+    a = Machine(ctx, "a", pcie_sockets=(0,))
+    b = Machine(ctx, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb)
+    xfer = RftpTransfer(ctx, a, b)
+    xfer.start()
+    with pytest.raises(RuntimeError):
+        xfer.start()
+
+
+def test_rftp_config_validation():
+    with pytest.raises(ValueError):
+        RftpConfig(block_size=0)
+    with pytest.raises(ValueError):
+        RftpConfig(streams_per_link=0)
+
+
+# --- event-level file transfer with real bytes --------------------------------------
+
+
+def file_transfer_env(seed=7):
+    ctx = Context.create(seed=seed)
+    a = Machine(ctx, "src-host", pcie_sockets=(0,))
+    b = Machine(ctx, "dst-host", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb)
+    src_disk = RamDisk(ctx, "src-disk",
+                       place_region(64 * MIB, NumaPolicy.bind(0), 2),
+                       store_data=True)
+    dst_disk = RamDisk(ctx, "dst-disk",
+                       place_region(64 * MIB, NumaPolicy.bind(0), 2),
+                       store_data=True)
+    src_fs = XfsFileSystem(ctx, src_disk)
+    dst_fs = XfsFileSystem(ctx, dst_disk)
+    return ctx, na, nb, src_fs, dst_fs
+
+
+def test_rftp_file_transfer_verified_integrity():
+    ctx, na, nb, src_fs, dst_fs = file_transfer_env()
+    size = 5 * MIB + 12345  # deliberately unaligned tail block
+    payload = (np.arange(size, dtype=np.int64) * 2654435761 % 251).astype(np.uint8)
+    src_fs.create("in.bin", size)
+    fh = src_fs.open("in.bin", O_RDWR)
+    ctx.sim.run(until=fh.write(payload))
+
+    done = rftp_send_file(
+        ctx, source_fs=src_fs, sink_fs=dst_fs,
+        src_path="in.bin", dst_path="out.bin",
+        client_nic=na, server_nic=nb, block_size=1 * MIB, credits=4,
+    )
+    digest = ctx.sim.run(until=done)
+    assert digest == StreamingDigest().update(payload).hexdigest()
+
+    out = np.zeros(size, dtype=np.uint8)
+    fh2 = dst_fs.open("out.bin", O_RDONLY)
+    ctx.sim.run(until=fh2.read(size, data=out))
+    assert np.array_equal(out, payload)
+
+
+def test_rftp_file_transfer_detects_corruption():
+    """A fault injected into the landing buffer fails the digest check."""
+    ctx, na, nb, src_fs, dst_fs = file_transfer_env(seed=8)
+    size = 2 * MIB
+    payload = np.full(size, 7, dtype=np.uint8)
+    src_fs.create("in.bin", size)
+    ctx.sim.run(until=src_fs.open("in.bin", O_RDWR).write(payload))
+
+    # corrupt the source mid-flight: flip bytes in the source filesystem
+    # after the first block is likely read
+    def corrupt():
+        yield ctx.sim.timeout(0.001)
+        src_fs.device.data[100] ^= 0xFF
+
+    ctx.sim.process(corrupt())
+    done = rftp_send_file(
+        ctx, source_fs=src_fs, sink_fs=dst_fs,
+        src_path="in.bin", dst_path="out.bin",
+        client_nic=na, server_nic=nb, block_size=1 * MIB,
+    )
+    # transfer either succeeds with the *corrupted* content consistently
+    # digested, or fails — but it must never silently deliver bytes whose
+    # digest mismatches what was read
+    try:
+        digest = ctx.sim.run(until=done)
+    except IOError:
+        return
+    out = np.zeros(size, dtype=np.uint8)
+    ctx.sim.run(until=dst_fs.open("out.bin", O_RDONLY).read(size, data=out))
+    assert digest == StreamingDigest().update(out).hexdigest()
+
+
+def test_rftp_file_transfer_is_timed():
+    """The simulated transfer time reflects the link rate."""
+    ctx, na, nb, src_fs, dst_fs = file_transfer_env(seed=9)
+    size = 8 * MIB
+    src_fs.create("in.bin", size)
+    ctx.sim.run(until=src_fs.open("in.bin", O_RDWR).write(size))
+    t0 = ctx.sim.now
+    done = rftp_send_file(
+        ctx, source_fs=src_fs, sink_fs=dst_fs,
+        src_path="in.bin", dst_path="out.bin",
+        client_nic=na, server_nic=nb, block_size=1 * MIB,
+    )
+    ctx.sim.run(until=done)
+    elapsed = ctx.sim.now - t0
+    # must be at least the serialization time on the 40G link
+    assert elapsed > size / na.link.rate
+    # and within a couple orders (no runaway latency)
+    assert elapsed < 1.0

@@ -1,0 +1,206 @@
+"""Tests for block devices, tmpfs and the thermally-throttled SSD."""
+
+import numpy as np
+import pytest
+
+from repro.hw import Machine
+from repro.kernel import NumaPolicy, SimProcess, place_region
+from repro.sim.context import Context
+from repro.storage import IoRequest, RamDisk, SsdDevice, TmpfsStore
+from repro.util.units import GB, MIB
+
+
+def ctx():
+    return Context.create(seed=11)
+
+
+def machine(c):
+    return Machine(c, "m", pcie_sockets=(0,))
+
+
+# --- IoRequest -------------------------------------------------------------------
+
+
+def test_iorequest_validation():
+    with pytest.raises(ValueError):
+        IoRequest(is_write=False, offset=-1, length=10)
+    with pytest.raises(ValueError):
+        IoRequest(is_write=False, offset=0, length=0)
+    with pytest.raises(ValueError):
+        IoRequest(
+            is_write=True, offset=0, length=10, data=np.zeros(5, dtype=np.uint8)
+        )
+
+
+# --- RamDisk ----------------------------------------------------------------------
+
+
+def test_ramdisk_read_write_round_trip():
+    c = ctx()
+    m = machine(c)
+    placement = place_region(1 << 20, NumaPolicy.bind(0), m.n_nodes)
+    disk = RamDisk(c, "rd", placement, store_data=True)
+    payload = np.arange(4096, dtype=np.uint8) % 251
+
+    done = disk.submit(IoRequest(True, offset=512, length=4096, data=payload))
+    c.sim.run(until=done)
+    out = np.zeros(4096, dtype=np.uint8)
+    done = disk.submit(IoRequest(False, offset=512, length=4096, data=out))
+    c.sim.run(until=done)
+    assert (out == payload).all()
+    assert disk.stats["write_ops"] == 1 and disk.stats["read_ops"] == 1
+
+
+def test_ramdisk_io_beyond_capacity_rejected():
+    c = ctx()
+    m = machine(c)
+    disk = RamDisk(c, "rd", place_region(4096, NumaPolicy.bind(0), m.n_nodes))
+    with pytest.raises(ValueError):
+        disk.submit(IoRequest(False, offset=0, length=8192))
+
+
+def test_ramdisk_bulk_path_remote_slower():
+    c = ctx()
+    m = machine(c)
+    local = RamDisk(c, "l", place_region(1 << 20, NumaPolicy.bind(0), 2))
+    remote = RamDisk(c, "r", place_region(1 << 20, NumaPolicy.bind(1), 2))
+    proc = SimProcess(m, "p", cpu_policy=NumaPolicy.bind(0))
+    t = proc.spawn_thread()
+    lp = local.bulk_path(False, t, 1 << 20)
+    rp = remote.bulk_path(False, t, 1 << 20)
+    assert rp.cap < lp.cap  # remote copy is slower per thread
+    assert any(r is m.qpi(0, 1) or r is m.qpi(1, 0) for r, _ in rp.path)
+
+
+def test_ramdisk_timed_copy_speed():
+    c = ctx()
+    m = machine(c)
+    placement = place_region(1 << 30, NumaPolicy.bind(0), 2)
+    disk = RamDisk(c, "rd", placement)
+    proc = SimProcess(m, "p", cpu_policy=NumaPolicy.bind(0))
+    t = proc.spawn_thread()
+    done = disk.submit(IoRequest(False, offset=0, length=256 * MIB), thread=t)
+    t0 = c.sim.now
+    c.sim.run(until=done)
+    rate = 256 * MIB / (c.sim.now - t0)
+    # one thread copying: near the calibrated local memcpy rate
+    assert rate == pytest.approx(c.cal.memcpy_rate_local, rel=0.1)
+
+
+# --- tmpfs ------------------------------------------------------------------------
+
+
+def test_tmpfs_create_open_unlink():
+    c = ctx()
+    m = machine(c)
+    store = TmpfsStore(m, 1 << 30, mpol=NumaPolicy.bind(0))
+    f = store.create("a", 1 << 20)
+    assert store.open("a") is f
+    assert store.used_bytes == 1 << 20
+    store.unlink("a")
+    assert store.used_bytes == 0
+    with pytest.raises(FileNotFoundError):
+        store.open("a")
+
+
+def test_tmpfs_mpol_places_files():
+    c = ctx()
+    m = machine(c)
+    store = TmpfsStore(m, 1 << 30, mpol=NumaPolicy.bind(1))
+    f = store.create("a", 1 << 20)
+    assert f.placement.node_fractions() == {1: 1.0}
+
+
+def test_tmpfs_remount_affects_new_files():
+    c = ctx()
+    m = machine(c)
+    store = TmpfsStore(m, 1 << 30, mpol=NumaPolicy.bind(0))
+    a = store.create("a", 1 << 20)
+    store.remount(NumaPolicy.bind(1))
+    b = store.create("b", 1 << 20)
+    assert a.placement.node_fractions() == {0: 1.0}
+    assert b.placement.node_fractions() == {1: 1.0}
+
+
+def test_tmpfs_enforces_capacity():
+    c = ctx()
+    m = machine(c)
+    store = TmpfsStore(m, 1 << 20)
+    store.create("a", 1 << 19)
+    with pytest.raises(OSError):
+        store.create("b", 1 << 20)
+
+
+def test_tmpfs_duplicate_name_rejected():
+    c = ctx()
+    m = machine(c)
+    store = TmpfsStore(m, 1 << 20)
+    store.create("a", 1024)
+    with pytest.raises(FileExistsError):
+        store.create("a", 1024)
+
+
+def test_tmpfs_larger_than_ram_rejected():
+    c = ctx()
+    m = machine(c)
+    with pytest.raises(ValueError):
+        TmpfsStore(m, m.total_memory_bytes * 2)
+
+
+# --- SSD thermal throttling (the §4.1 anecdote) ---------------------------------------
+
+
+def test_ssd_bursts_then_throttles():
+    c = ctx()
+    m = machine(c)
+    ssd = SsdDevice(
+        c,
+        "fio-drive",
+        capacity_bytes=2_000 * GB,
+        burst_rate=1.4e9,
+        throttled_rate=0.5e9,
+        thermal_budget=20e9,  # scaled down to keep the test fast
+    )
+    proc = SimProcess(m, "fio", cpu_policy=NumaPolicy.bind(0))
+    t = proc.spawn_thread()
+    from repro.sim.fluid import FluidFlow
+
+    spec = ssd.bulk_path(is_write=True, thread=t, block_size=4 * MIB)
+    flow = FluidFlow(spec.path, size=None, cap=spec.cap,
+                     charges=spec.charges, name="fio-stream")
+    c.fluid.start(flow)
+
+    c.sim.run(until=10.0)
+    c.fluid.settle()
+    early_rate = flow.transferred / 10.0
+    assert early_rate > 1.2e9  # bursting
+
+    c.sim.run(until=120.0)
+    c.fluid.settle()
+    assert ssd.throttled
+    late = flow.transferred
+    c.sim.run(until=150.0)
+    c.fluid.settle()
+    late_rate = (flow.transferred - late) / 30.0
+    assert late_rate == pytest.approx(0.5e9, rel=0.05)  # the paper's ~500 MB/s
+    c.fluid.stop(flow)
+
+
+def test_ssd_recovers_after_idle():
+    c = ctx()
+    m = machine(c)
+    ssd = SsdDevice(c, "d", capacity_bytes=1_000 * GB, burst_rate=1.4e9,
+                    throttled_rate=0.5e9, thermal_budget=10e9)
+    done = ssd.submit(IoRequest(True, offset=0, length=30 * GB))
+    c.sim.run(until=done)
+    assert ssd.throttled
+    # idle: heat dissipates, throttle releases
+    c.sim.run(until=c.sim.now + 60.0)
+    assert not ssd.throttled
+    assert ssd.bandwidth.capacity == 1.4e9
+
+
+def test_ssd_validation():
+    c = ctx()
+    with pytest.raises(ValueError):
+        SsdDevice(c, "d", capacity_bytes=GB, burst_rate=1e9, throttled_rate=2e9)

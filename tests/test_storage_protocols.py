@@ -1,0 +1,185 @@
+"""Tests for SCSI CDB and iSCSI PDU encoding (incl. property round-trips)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.iscsi import (
+    BHS_SIZE,
+    BasicHeaderSegment,
+    IscsiError,
+    LoginRequestPdu,
+    LoginResponsePdu,
+    PduOpcode,
+    ScsiCommandPdu,
+    ScsiResponsePdu,
+    decode_pdu,
+)
+from repro.storage.scsi import BLOCK_SIZE, CDB, ScsiError, ScsiOp
+
+
+# --- SCSI CDB ---------------------------------------------------------------------
+
+
+def test_read16_encode_decode():
+    cdb = CDB(ScsiOp.READ_16, lba=0x123456789A, blocks=2048)
+    raw = cdb.encode()
+    assert len(raw) == 16
+    assert raw[0] == 0x88
+    back = CDB.decode(raw)
+    assert back == cdb
+
+
+def test_write16_flags():
+    cdb = CDB.write(4096, 8192)
+    assert cdb.is_write and cdb.is_data_transfer
+    assert cdb.lba == 8 and cdb.blocks == 16
+    assert cdb.byte_offset == 4096 and cdb.byte_length == 8192
+
+
+def test_read_helper_alignment_enforced():
+    with pytest.raises(ScsiError):
+        CDB.read(100, 512)
+    with pytest.raises(ScsiError):
+        CDB.read(512, 100)
+    with pytest.raises(ScsiError):
+        CDB.read(0, 0)
+
+
+def test_inquiry_and_tur_round_trip():
+    for op in (ScsiOp.INQUIRY, ScsiOp.TEST_UNIT_READY, ScsiOp.READ_CAPACITY_16):
+        cdb = CDB(op)
+        back = CDB.decode(cdb.encode())
+        assert back.op is op
+        assert not back.is_data_transfer
+
+
+def test_decode_junk_rejected():
+    with pytest.raises(ScsiError):
+        CDB.decode(b"")
+    with pytest.raises(ScsiError):
+        CDB.decode(bytes([0x88, 0, 0]))  # short READ(16)
+    with pytest.raises(ScsiError):
+        CDB.decode(bytes([0xFF] * 16))  # unknown opcode
+
+
+def test_zero_block_transfer_rejected():
+    raw = CDB(ScsiOp.READ_16, lba=0, blocks=1).encode()
+    raw = raw[:10] + bytes(4) + raw[14:]  # zero the transfer length
+    with pytest.raises(ScsiError):
+        CDB.decode(raw)
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=1, max_value=(1 << 32) - 1),
+    st.sampled_from([ScsiOp.READ_16, ScsiOp.WRITE_16]),
+)
+@settings(max_examples=200, deadline=None)
+def test_cdb_round_trip_property(lba, blocks, op):
+    cdb = CDB(op, lba=lba, blocks=blocks)
+    assert CDB.decode(cdb.encode()) == cdb
+
+
+# --- iSCSI PDUs -----------------------------------------------------------------------
+
+
+def test_bhs_round_trip():
+    bhs = BasicHeaderSegment(
+        opcode=PduOpcode.SCSI_COMMAND,
+        flags=0xC0,
+        data_segment_length=0x123456,
+        lun=3,
+        initiator_task_tag=0xDEADBEEF,
+        opcode_specific=bytes(range(28)),
+    )
+    raw = bhs.encode()
+    assert len(raw) == BHS_SIZE
+    assert BasicHeaderSegment.decode(raw) == bhs
+
+
+def test_bhs_dsl_range():
+    with pytest.raises(IscsiError):
+        BasicHeaderSegment(
+            opcode=PduOpcode.NOP_OUT, data_segment_length=1 << 24
+        ).encode()
+
+
+def test_bhs_short_buffer_rejected():
+    with pytest.raises(IscsiError):
+        BasicHeaderSegment.decode(bytes(10))
+
+
+def test_bhs_unknown_opcode_rejected():
+    raw = bytearray(BasicHeaderSegment(opcode=PduOpcode.NOP_OUT).encode())
+    raw[0] = 0x3F
+    with pytest.raises(IscsiError):
+        BasicHeaderSegment.decode(bytes(raw))
+
+
+def test_scsi_command_pdu_round_trip():
+    pdu = ScsiCommandPdu(
+        lun=2,
+        task_tag=77,
+        cdb=CDB.read(0, 1 << 20),
+        expected_data_length=1 << 20,
+    )
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, ScsiCommandPdu)
+    assert back.lun == 2 and back.task_tag == 77
+    assert back.cdb == pdu.cdb
+    assert back.expected_data_length == 1 << 20
+
+
+def test_scsi_command_pdu_flags():
+    raw = ScsiCommandPdu(
+        lun=0, task_tag=1, cdb=CDB.write(0, BLOCK_SIZE), expected_data_length=BLOCK_SIZE
+    ).encode()
+    bhs = BasicHeaderSegment.decode(raw)
+    assert bhs.flags & ScsiCommandPdu.FLAG_WRITE
+    assert not bhs.flags & ScsiCommandPdu.FLAG_READ
+
+
+def test_scsi_response_round_trip():
+    pdu = ScsiResponsePdu(task_tag=9, status=2, residual=100)
+    back = decode_pdu(pdu.encode())
+    assert isinstance(back, ScsiResponsePdu)
+    assert back.status == 2 and back.residual == 100 and back.task_tag == 9
+
+
+def test_login_round_trip():
+    req = LoginRequestPdu("iqn.init", "iqn.tgt", task_tag=5)
+    bhs_raw, text = req.encode()
+    back = LoginRequestPdu.from_bhs(BasicHeaderSegment.decode(bhs_raw), text)
+    assert back == req
+    resp = LoginResponsePdu(task_tag=5, status_class=0)
+    back2 = decode_pdu(resp.encode())
+    assert isinstance(back2, LoginResponsePdu)
+    assert back2.status_class == 0
+
+
+def test_login_missing_keys_rejected():
+    req = LoginRequestPdu("iqn.init", "iqn.tgt")
+    bhs_raw, _ = req.encode()
+    with pytest.raises(IscsiError):
+        LoginRequestPdu.from_bhs(BasicHeaderSegment.decode(bhs_raw), b"garbage")
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 24) - 1),
+    st.integers(min_value=0, max_value=(1 << 64) - 1),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.sampled_from(list(PduOpcode)),
+    st.binary(min_size=28, max_size=28),
+)
+@settings(max_examples=150, deadline=None)
+def test_bhs_round_trip_property(dsl, lun, itt, opcode, specific):
+    bhs = BasicHeaderSegment(
+        opcode=opcode,
+        flags=0x80,
+        data_segment_length=dsl,
+        lun=lun,
+        initiator_task_tag=itt,
+        opcode_specific=specific,
+    )
+    assert BasicHeaderSegment.decode(bhs.encode()) == bhs

@@ -1,0 +1,184 @@
+"""Integration tests for the iSER SAN: target + initiator + sessions."""
+
+import numpy as np
+import pytest
+
+from repro.hw import backend_lan_host, frontend_lan_host
+from repro.kernel import NumaPolicy, SimProcess
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.sim.fluid import FluidFlow
+from repro.storage import IoRequest, IserInitiator, IserTarget
+from repro.util.units import GB, MIB, to_gbps
+
+
+def build_san(tuning="numa", n_luns=6, lun_size=GB, store_data=False, seed=13):
+    c = Context.create(seed=seed)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wire_san(c, front, back)
+    target = IserTarget(c, back, tuning=tuning, n_links=2)
+    for _ in range(n_luns):
+        target.create_lun(lun_size, store_data=store_data)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    return c, front, back, target, initiator
+
+
+# --- construction -----------------------------------------------------------------
+
+
+def test_target_numa_tuning_one_process_per_node():
+    c, front, back, target, initiator = build_san(tuning="numa")
+    assert len(target.processes) == 2
+    assert target.processes[0].cpu_policy == NumaPolicy.bind(0)
+    assert target.remote_shared_fraction() == 0.0
+
+
+def test_target_default_single_process():
+    c, front, back, target, initiator = build_san(tuning="default")
+    assert len(target.processes) == 1
+    assert target.processes[0].cpu_policy == NumaPolicy.default()
+    assert target.remote_shared_fraction() > 0
+
+
+def test_luns_balanced_across_links():
+    c, front, back, target, initiator = build_san(tuning="numa", n_luns=6)
+    links = [lun.link_index for lun in target.luns]
+    assert links == [0, 1, 0, 1, 0, 1]
+
+
+def test_numa_luns_pinned_to_link_local_node():
+    c, front, back, target, initiator = build_san(tuning="numa", n_luns=4)
+    for lun in target.luns:
+        assert lun.node_fractions == {lun.link_index: 1.0}
+
+
+def test_default_luns_spread_over_nodes():
+    c, front, back, target, initiator = build_san(tuning="default", n_luns=2)
+    for lun in target.luns:
+        assert lun.node_fractions == {0: 0.5, 1: 0.5}
+
+
+def test_initiator_surfaces_all_luns():
+    c, front, back, target, initiator = build_san(n_luns=6)
+    assert sorted(initiator.devices) == [0, 1, 2, 3, 4, 5]
+    dev = initiator.device(0)
+    assert dev.capacity_bytes == GB
+    with pytest.raises(KeyError):
+        initiator.device(99)
+
+
+# --- event-level I/O with real bytes ---------------------------------------------------
+
+
+def test_san_write_read_round_trip_real_bytes():
+    c, front, back, target, initiator = build_san(
+        n_luns=2, lun_size=4 * MIB, store_data=True
+    )
+    dev = initiator.device(0)
+    proc = SimProcess(front, "app", cpu_policy=NumaPolicy.bind(0))
+    t = proc.spawn_thread()
+
+    payload = (np.arange(1 * MIB, dtype=np.int64) % 251).astype(np.uint8)
+    done = dev.submit(IoRequest(True, offset=512 * 1024, length=1 * MIB,
+                                data=payload.copy()), thread=t)
+    c.sim.run(until=done)
+
+    out = np.zeros(1 * MIB, dtype=np.uint8)
+    done = dev.submit(IoRequest(False, offset=512 * 1024, length=1 * MIB, data=out),
+                      thread=t)
+    c.sim.run(until=done)
+    assert (out == payload).all()
+    # the LUN's backing store holds the bytes at the right offset
+    lun = target.luns[0]
+    assert (lun.data[512 * 1024 : 512 * 1024 + 1 * MIB] == payload).all()
+
+
+def test_san_io_beyond_lun_fails():
+    c, front, back, target, initiator = build_san(n_luns=1, lun_size=4 * MIB)
+    dev = initiator.device(0)
+    with pytest.raises(ValueError):
+        dev.submit(IoRequest(False, offset=0, length=8 * MIB))
+
+
+# --- fluid streaming --------------------------------------------------------------------
+
+
+def run_fio_like(c, initiator, target, is_write, block_size=4 * MIB,
+                 threads_per_lun=4, duration=30.0):
+    """Start one stream per (LUN, thread) and measure aggregate rate."""
+    front = initiator.machine
+    flows = []
+    for lun in target.luns:
+        dev = initiator.device(lun.lun_id)
+        dev.threads_per_lun = threads_per_lun
+        proc = SimProcess(front, f"fio{lun.lun_id}",
+                          cpu_policy=NumaPolicy.bind(lun.link_index % front.n_nodes))
+        for k in range(threads_per_lun):
+            t = proc.spawn_thread()
+            spec = dev.bulk_path(is_write, t, block_size)
+            flow = FluidFlow(spec.path, size=None, cap=spec.cap,
+                             charges=spec.charges,
+                             name=f"fio-l{lun.lun_id}t{k}")
+            c.fluid.start(flow)
+            flows.append(flow)
+    t0 = c.sim.now
+    c.sim.run(until=t0 + duration)
+    c.fluid.settle()
+    total = sum(f.transferred for f in flows)
+    for f in flows:
+        c.fluid.stop(f)
+    return total / duration
+
+
+def test_streaming_read_reaches_tens_of_gbps():
+    c, front, back, target, initiator = build_san(tuning="numa")
+    rate = run_fio_like(c, initiator, target, is_write=False)
+    assert to_gbps(rate) > 60  # two FDR links; expect high aggregate
+
+
+def test_numa_tuning_improves_write_more_than_read():
+    """The Fig. 7 asymmetry: +19% writes vs +7.6% reads."""
+    rates = {}
+    for tuning in ("numa", "default"):
+        for is_write in (False, True):
+            c, front, back, target, initiator = build_san(tuning=tuning)
+            rates[(tuning, is_write)] = run_fio_like(
+                c, initiator, target, is_write=is_write
+            )
+    read_gain = rates[("numa", False)] / rates[("default", False)]
+    write_gain = rates[("numa", True)] / rates[("default", True)]
+    assert write_gain > read_gain > 1.0
+    assert write_gain > 1.10  # paper: ~1.19
+    assert read_gain < 1.15  # paper: ~1.076
+
+
+def test_read_faster_than_write_when_tuned():
+    """RDMA WRITE (serving reads) beats RDMA READ (serving writes), §4.2."""
+    c1, _, _, tgt1, ini1 = build_san(tuning="numa", seed=20)
+    read_rate = run_fio_like(c1, ini1, tgt1, is_write=False)
+    c2, _, _, tgt2, ini2 = build_san(tuning="numa", seed=21)
+    write_rate = run_fio_like(c2, ini2, tgt2, is_write=True)
+    assert read_rate > write_rate
+    assert read_rate / write_rate == pytest.approx(1.075, rel=0.08)
+
+
+def test_default_write_burns_more_target_cpu():
+    """Fig. 8: default binding costs ~3x the CPU on writes."""
+    cpus = {}
+    for tuning in ("numa", "default"):
+        c, front, back, target, initiator = build_san(tuning=tuning)
+        run_fio_like(c, initiator, target, is_write=True, duration=20.0)
+        cpus[tuning] = target.accounting().total_seconds
+    assert cpus["default"] > 1.8 * cpus["numa"]
+
+
+def test_small_blocks_slower_than_large():
+    c1, _, _, tgt1, ini1 = build_san(tuning="numa", seed=30)
+    small = run_fio_like(c1, ini1, tgt1, is_write=False, block_size=64 * 1024,
+                         duration=10.0)
+    c2, _, _, tgt2, ini2 = build_san(tuning="numa", seed=31)
+    large = run_fio_like(c2, ini2, tgt2, is_write=False, block_size=8 * MIB,
+                         duration=10.0)
+    assert large > small

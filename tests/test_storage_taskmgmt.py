@@ -1,0 +1,147 @@
+"""Tests for iSCSI task management, NOP keepalive and sense data."""
+
+import numpy as np
+import pytest
+
+from repro.hw import backend_lan_host, frontend_lan_host
+from repro.kernel import NumaPolicy, SimProcess
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.storage import IoRequest, IserInitiator, IserTarget
+from repro.storage.initiator import TaskAborted
+from repro.storage.iscsi import (
+    NopInPdu,
+    NopOutPdu,
+    ScsiResponsePdu,
+    TaskManagementRequestPdu,
+    TaskManagementResponsePdu,
+    TmFunction,
+    decode_pdu,
+)
+from repro.util.units import MIB
+
+
+def build_san(seed=31):
+    c = Context.create(seed=seed)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wire_san(c, front, back)
+    target = IserTarget(c, back, tuning="numa", n_links=2)
+    for _ in range(2):
+        target.create_lun(64 * MIB, store_data=True)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    return c, front, target, initiator
+
+
+# --- PDU round trips ---------------------------------------------------------------
+
+
+def test_tm_request_round_trip():
+    req = TaskManagementRequestPdu(function=TmFunction.ABORT_TASK,
+                                   task_tag=9, referenced_task_tag=7, lun=3)
+    back = decode_pdu(req.encode())
+    assert back == req
+
+
+def test_tm_response_round_trip():
+    resp = TaskManagementResponsePdu(task_tag=9, response=1)
+    assert decode_pdu(resp.encode()) == resp
+
+
+def test_lun_reset_function_encoded():
+    req = TaskManagementRequestPdu(function=TmFunction.LUN_RESET,
+                                   task_tag=1, lun=5)
+    back = decode_pdu(req.encode())
+    assert back.function is TmFunction.LUN_RESET and back.lun == 5
+
+
+def test_nop_round_trips():
+    assert decode_pdu(NopOutPdu(task_tag=3).encode()) == NopOutPdu(task_tag=3)
+    assert decode_pdu(NopInPdu(task_tag=3).encode()) == NopInPdu(task_tag=3)
+
+
+def test_response_carries_sense():
+    resp = ScsiResponsePdu(task_tag=2, status=0x02, sense_key=0x05, asc=0x21)
+    back = decode_pdu(resp.encode())
+    assert back.sense_key == 0x05 and back.asc == 0x21
+
+
+# --- session behaviour -----------------------------------------------------------------
+
+
+def test_ping_measures_rtt():
+    c, front, target, initiator = build_san()
+    session = initiator.sessions[0]
+    rtt = c.sim.run(until=session.ping())
+    assert rtt == pytest.approx(session.link.rtt + 2 * c.cal.rdma_op_latency,
+                                rel=0.01)
+
+
+def test_abort_inflight_task():
+    c, front, target, initiator = build_san(seed=32)
+    session = initiator.sessions[0]
+    lun = target.luns[0]
+    app_mr = session.pd.register(
+        __import__("repro.kernel.pages", fromlist=["place_region"]).place_region(
+            32 * MIB, NumaPolicy.bind(0), 2),
+        data=np.zeros(32 * MIB, dtype=np.uint8),
+    )
+    req = IoRequest(True, offset=0, length=32 * MIB, data=None)
+    done, tag = session.execute_io_tagged(lun, req, app_mr)
+    # abort immediately, well before the 32 MiB transfer can finish
+    abort_done = session.abort_task(tag)
+    response = c.sim.run(until=abort_done)
+    assert response == 0  # function complete
+    with pytest.raises(TaskAborted):
+        c.sim.run(until=done)
+
+
+def test_abort_unknown_task_reports_missing():
+    c, front, target, initiator = build_san(seed=33)
+    session = initiator.sessions[0]
+    response = c.sim.run(until=session.abort_task(9999))
+    assert response == 1  # task does not exist
+
+
+def test_abort_after_completion_reports_missing():
+    c, front, target, initiator = build_san(seed=34)
+    session = initiator.sessions[0]
+    lun = target.luns[0]
+    from repro.kernel.pages import place_region
+
+    app_mr = session.pd.register(
+        place_region(1 * MIB, NumaPolicy.bind(0), 2),
+        data=np.zeros(1 * MIB, dtype=np.uint8),
+    )
+    req = IoRequest(False, offset=0, length=1 * MIB)
+    done, tag = session.execute_io_tagged(lun, req, app_mr)
+    status = c.sim.run(until=done)
+    assert status == 0
+    response = c.sim.run(until=session.abort_task(tag))
+    assert response == 1
+
+
+def test_completed_io_still_works_after_abort_of_other():
+    """Aborting one task doesn't poison the session."""
+    c, front, target, initiator = build_san(seed=35)
+    session = initiator.sessions[0]
+    lun = target.luns[0]
+    from repro.kernel.pages import place_region
+
+    big_mr = session.pd.register(
+        place_region(32 * MIB, NumaPolicy.bind(0), 2),
+        data=np.zeros(32 * MIB, dtype=np.uint8))
+    done1, tag1 = session.execute_io_tagged(
+        lun, IoRequest(True, offset=0, length=32 * MIB), big_mr)
+    c.sim.run(until=session.abort_task(tag1))
+    with pytest.raises(TaskAborted):
+        c.sim.run(until=done1)
+
+    small_mr = session.pd.register(
+        place_region(1 * MIB, NumaPolicy.bind(0), 2),
+        data=np.full(1 * MIB, 9, dtype=np.uint8))
+    done2, _ = session.execute_io_tagged(
+        lun, IoRequest(True, offset=0, length=1 * MIB), small_mr)
+    assert c.sim.run(until=done2) == 0
+    assert (target.luns[0].data[: 1 * MIB] == 9).all()

@@ -1,0 +1,134 @@
+"""Tests for the event-level target daemon (queueing behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.hw import backend_lan_host, frontend_lan_host
+from repro.kernel import NumaPolicy, place_region
+from repro.net.topology import wire_san
+from repro.sim.context import Context
+from repro.storage import IserInitiator, IserTarget
+from repro.storage.daemon import QueuedCommand, TargetDaemon
+from repro.util.units import MIB
+
+
+def build(seed=91, n_workers=2, queue_depth=128):
+    c = Context.create(seed=seed)
+    front = frontend_lan_host(c, "front", with_ib=True)
+    back = backend_lan_host(c, "back")
+    wire_san(c, front, back)
+    target = IserTarget(c, back, tuning="numa", n_links=2)
+    target.create_lun(256 * MIB, store_data=True)
+    initiator = IserInitiator(c, front, target)
+    c.sim.run(until=initiator.login_all())
+    session = initiator.sessions[0]
+    daemon = TargetDaemon(c, target, session.qp_t, n_workers=n_workers,
+                          queue_depth=queue_depth)
+    return c, target, initiator, session, daemon
+
+
+def app_buffer(session, size, fill=None):
+    data = np.zeros(size, dtype=np.uint8)
+    if fill is not None:
+        data[:] = fill
+    return session.pd.register(
+        place_region(size, NumaPolicy.bind(0), 2), data=data)
+
+
+def test_single_command_executes_and_moves_bytes():
+    c, target, initiator, session, daemon = build()
+    lun = target.luns[0]
+    mr = app_buffer(session, 1 * MIB, fill=7)
+    cmd = QueuedCommand(lun=lun, is_write=True, offset=0, length=1 * MIB,
+                        initiator_mr=mr)
+    status = c.sim.run(until=daemon.submit(cmd))
+    assert status == 0
+    assert (lun.data[: 1 * MIB] == 7).all()
+    assert cmd.service_time > 0
+    assert cmd.queue_wait < 1e-6  # empty queue: picked up immediately
+
+
+def test_out_of_range_command_checks_condition():
+    c, target, initiator, session, daemon = build(seed=92)
+    lun = target.luns[0]
+    mr = app_buffer(session, 1 * MIB)
+    cmd = QueuedCommand(lun=lun, is_write=False, offset=lun.capacity_bytes,
+                        length=1 * MIB, initiator_mr=mr)
+    status = c.sim.run(until=daemon.submit(cmd))
+    assert status == 0x02
+
+
+def test_saturated_pool_queues_commands():
+    """With 1 worker, N commands serialize: mean queue wait grows ~N/2."""
+    c, target, initiator, session, daemon = build(seed=93, n_workers=1)
+    lun = target.luns[0]
+    mr = app_buffer(session, 4 * MIB)
+    events = []
+    for i in range(8):
+        cmd = QueuedCommand(lun=lun, is_write=False, offset=i * 4 * MIB,
+                            length=4 * MIB, initiator_mr=mr)
+        events.append(daemon.submit(cmd))
+    for ev in events:
+        c.sim.run(until=ev)
+    assert len(daemon.completed) == 8
+    service = daemon.mean_service_time()
+    wait = daemon.mean_queue_wait()
+    # M/D/1 with batch arrival: mean wait = (N-1)/2 * service
+    assert wait == pytest.approx(3.5 * service, rel=0.1)
+
+
+def test_more_workers_cut_queue_wait():
+    waits = {}
+    for n in (1, 4):
+        c, target, initiator, session, daemon = build(seed=94, n_workers=n)
+        lun = target.luns[0]
+        mr = app_buffer(session, 4 * MIB)
+        events = [
+            daemon.submit(QueuedCommand(lun=lun, is_write=False,
+                                        offset=i * 4 * MIB, length=4 * MIB,
+                                        initiator_mr=mr))
+            for i in range(8)
+        ]
+        for ev in events:
+            c.sim.run(until=ev)
+        waits[n] = daemon.mean_queue_wait()
+    assert waits[4] < waits[1] * 0.5
+
+
+def test_fifo_ordering():
+    c, target, initiator, session, daemon = build(seed=95, n_workers=1)
+    lun = target.luns[0]
+    mr = app_buffer(session, 1 * MIB)
+    cmds = [QueuedCommand(lun=lun, is_write=False, offset=0, length=1 * MIB,
+                          initiator_mr=mr) for _ in range(5)]
+    events = [daemon.submit(cmd) for cmd in cmds]
+    for ev in events:
+        c.sim.run(until=ev)
+    starts = [cmd.started_at for cmd in cmds]
+    assert starts == sorted(starts)
+    assert [c_.cmd_id for c_ in daemon.completed] == [c_.cmd_id for c_ in cmds]
+
+
+def test_shutdown_fails_queued_commands():
+    c, target, initiator, session, daemon = build(seed=96, n_workers=1)
+    lun = target.luns[0]
+    mr = app_buffer(session, 4 * MIB)
+    events = [
+        daemon.submit(QueuedCommand(lun=lun, is_write=False,
+                                    offset=0, length=4 * MIB,
+                                    initiator_mr=mr))
+        for _ in range(4)
+    ]
+    c.sim.run(until=events[0])  # first completes
+    daemon.shutdown()
+    with pytest.raises(RuntimeError):
+        daemon.submit(QueuedCommand(lun=lun, is_write=False, offset=0,
+                                    length=1 * MIB, initiator_mr=mr))
+    # drain: in-flight finishes, queued ones fail
+    failures = 0
+    for ev in events[1:]:
+        try:
+            c.sim.run(until=ev)
+        except RuntimeError:
+            failures += 1
+    assert failures >= 2

@@ -1,0 +1,26 @@
+"""The tutorial's code blocks all execute (docs that cannot rot)."""
+
+import pathlib
+import re
+
+TUTORIAL = pathlib.Path(__file__).parent.parent / "docs" / "TUTORIAL.md"
+
+
+def extract_blocks(text: str) -> list[str]:
+    return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+
+def test_tutorial_has_blocks():
+    blocks = extract_blocks(TUTORIAL.read_text())
+    assert len(blocks) >= 5
+
+
+def test_tutorial_blocks_execute_in_order():
+    namespace: dict = {}
+    for i, block in enumerate(extract_blocks(TUTORIAL.read_text())):
+        try:
+            exec(compile(block, f"TUTORIAL.md[block {i}]", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - failure reporting
+            raise AssertionError(
+                f"tutorial block {i} failed: {type(exc).__name__}: {exc}\n{block}"
+            ) from exc

@@ -1,0 +1,173 @@
+"""Tests for the utility layer: units, tables, validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    GB,
+    GIB,
+    KIB,
+    MIB,
+    bits_to_bytes,
+    bytes_to_bits,
+    fmt_bytes,
+    fmt_rate,
+    fmt_seconds,
+    gbps,
+    mbps,
+)
+from repro.util.tables import Table, comparison_table
+from repro.util.units import to_gbps
+from repro.util.validation import (
+    check_choice,
+    check_fraction,
+    check_index,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    require,
+)
+
+
+# --- units -----------------------------------------------------------------------
+
+
+def test_size_constants():
+    assert GB == 1_000_000_000
+    assert GIB == 1 << 30
+    assert MIB == 1 << 20
+    assert KIB == 1024
+
+
+def test_gbps_round_trip():
+    rate = gbps(40.0)
+    assert rate == 5e9  # 40 Gb/s = 5 GB/s
+    assert to_gbps(rate) == pytest.approx(40.0)
+
+
+def test_mbps():
+    assert mbps(8.0) == 1e6
+
+
+def test_bit_byte_conversions():
+    assert bytes_to_bits(10) == 80
+    assert bits_to_bytes(80) == 10
+
+
+@given(st.floats(min_value=0.0, max_value=1e15))
+@settings(max_examples=50, deadline=None)
+def test_gbps_inverse_property(x):
+    assert to_gbps(gbps(x / 1e9)) == pytest.approx(x / 1e9, rel=1e-12)
+
+
+def test_fmt_bytes():
+    assert fmt_bytes(512) == "512 B"
+    assert fmt_bytes(2 * KIB) == "2.00 KiB"
+    assert fmt_bytes(3 * MIB) == "3.00 MiB"
+    assert fmt_bytes(5 * GIB) == "5.00 GiB"
+
+
+def test_fmt_rate():
+    assert fmt_rate(gbps(91.0)) == "91.00 Gbps"
+    assert fmt_rate(mbps(500.0)) == "500.00 Mbps"
+    assert "Kbps" in fmt_rate(100.0)
+
+
+def test_fmt_seconds():
+    assert fmt_seconds(90.0) == "1m30.0s"
+    assert fmt_seconds(2.5) == "2.500s"
+    assert fmt_seconds(0.0025) == "2.500ms"
+    assert fmt_seconds(5e-6) == "5.0us"
+
+
+# --- tables ----------------------------------------------------------------------
+
+
+def test_table_render_alignment():
+    t = Table(["name", "Gbps"], title="demo")
+    t.add_row(["RFTP", 91.0])
+    t.add_row(["GridFTP", 29.0])
+    text = t.render()
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "RFTP" in text and "GridFTP" in text
+    # second column starts at the same offset in header and data rows
+    header, data = lines[2], lines[4]
+    assert header.index("Gbps") == data.index("91.00")
+
+
+def test_table_row_width_validation():
+    t = Table(["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row([1])
+
+
+def test_table_float_formatting():
+    t = Table(["x"])
+    t.add_row([0.000001])
+    t.add_row([123456.0])
+    t.add_row([1.5])
+    text = t.render()
+    assert "1e-06" in text
+    assert "1.23e+05" in text  # %.3g for large values
+    assert "1.50" in text
+
+
+def test_comparison_table():
+    t = comparison_table("demo", [("rate", 91, 92)])
+    assert t.headers == ["metric", "paper", "measured"]
+    assert "rate" in t.render()
+
+
+# --- validation ------------------------------------------------------------------
+
+
+def test_require():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_positive():
+    assert check_positive("x", 1.5) == 1.5
+    for bad in (0, -1, float("nan"), float("inf")):
+        with pytest.raises(ValueError):
+            check_positive("x", bad)
+
+
+def test_check_non_negative():
+    assert check_non_negative("x", 0.0) == 0.0
+    with pytest.raises(ValueError):
+        check_non_negative("x", -0.1)
+    with pytest.raises(ValueError):
+        check_non_negative("x", float("inf"))
+
+
+def test_check_fraction():
+    assert check_fraction("x", 0.5) == 0.5
+    assert check_fraction("x", 0.0) == 0.0
+    assert check_fraction("x", 1.0) == 1.0
+    with pytest.raises(ValueError):
+        check_fraction("x", 1.01)
+
+
+def test_check_index():
+    assert check_index("i", 3, 5) == 3
+    with pytest.raises(IndexError):
+        check_index("i", 5, 5)
+    with pytest.raises(TypeError):
+        check_index("i", 1.0, 5)  # type: ignore[arg-type]
+
+
+def test_check_choice():
+    assert check_choice("mode", "a", ("a", "b")) == "a"
+    with pytest.raises(ValueError):
+        check_choice("mode", "c", ("a", "b"))
+
+
+def test_check_power_of_two():
+    assert check_power_of_two("x", 4096) == 4096
+    for bad in (0, 3, -8):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", bad)
