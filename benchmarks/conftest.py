@@ -2,44 +2,94 @@
 
 Each benchmark runs one experiment module (the same code the tests
 assert on), records its wall time via pytest-benchmark, writes the
-rendered paper-vs-measured report to ``benchmarks/results/`` and prints
-it (visible with ``pytest -s`` or in the saved files).
+rendered paper-vs-measured report to ``benchmarks/results/<name>.txt``
+plus a machine-readable ``<name>.json`` (ops, wall seconds, events/sec,
+per-check pass/fail) and prints the report (visible with ``pytest -s``
+or in the saved files).  The JSON files are what
+``scripts/check_bench_regression.py`` compares against the committed
+baselines in ``benchmarks/baselines/``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pathlib
+import time
 
 import pytest
+
+from repro.sim.engine import Simulator
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
 
 
 @pytest.fixture
 def run_experiment(benchmark, results_dir):
-    """Benchmark an experiment module and persist its report."""
+    """Benchmark an experiment module and persist its report + JSON."""
 
     def _run(module, name: str, quick: bool | None = None):
         if quick is None:
             quick = os.environ.get("REPRO_FULL", "") != "1"
+
+        measured = {}
+
+        def _timed(**kwargs):
+            events_before = Simulator.events_processed_total
+            t0 = time.perf_counter()
+            rep = module.run(**kwargs)
+            measured["wall_seconds"] = time.perf_counter() - t0
+            measured["events"] = Simulator.events_processed_total - events_before
+            return rep
+
         report = benchmark.pedantic(
-            module.run, kwargs={"quick": quick}, rounds=1, iterations=1
+            _timed, kwargs={"quick": quick}, rounds=1, iterations=1
         )
         text = report.render()
+
+        wall = measured["wall_seconds"]
+        events = measured["events"]
+        payload = {
+            "name": name,
+            "experiment_id": report.experiment_id,
+            "quick": quick,
+            "ops": events,
+            "wall_seconds": wall,
+            "events_per_sec": events / wall if wall > 0 else 0.0,
+            "all_ok": report.all_ok,
+            "checks": [
+                {
+                    "metric": c.metric,
+                    "paper": repr(c.paper),
+                    "measured": repr(c.measured),
+                    "ok": c.ok,
+                }
+                for c in report.checks
+            ],
+        }
+
+        # Persist both artifacts *before* asserting, so a diverging run
+        # still leaves its report and JSON behind for inspection/CI upload.
+        results_dir.mkdir(parents=True, exist_ok=True)
         (results_dir / f"{name}.txt").write_text(text + "\n")
+        (results_dir / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
         print()
         print(text)
         assert report.checks, f"{name} produced no checks"
+        # Failed checks must fail the benchmark in quick *and* full mode
+        # (REPRO_FULL=1): report every diverging metric with its values.
         failed = [c for c in report.checks if c.ok is False]
         assert not failed, "diverging checks: " + ", ".join(
-            c.metric for c in failed
+            f"{c.metric} (paper={c.paper!r}, measured={c.measured!r})"
+            for c in failed
         )
         return report
 

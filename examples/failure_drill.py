@@ -67,7 +67,7 @@ def main() -> None:
             yield ctx.sim.timeout(0.050)
             if link.failed:
                 print(f"[{fmt_seconds(ctx.sim.now)}] watchdog: transfer "
-                      f"stalled on dead link, aborting job")
+                      "stalled on dead link, aborting job")
                 return
 
     ctx.sim.run(until=ctx.sim.process(watchdog()))
@@ -79,7 +79,7 @@ def main() -> None:
     ctx.sim.run(until=0.25)
     drained = len(server.manifest)
     if drained > done_files:
-        print(f"after the repair, the stalled job drained "
+        print("after the repair, the stalled job drained "
               f"{drained - done_files} more file(s) on its own")
 
     # ...and the operator's re-run is then a cheap verification pass:

@@ -18,7 +18,6 @@ Run:  python examples/numa_effects.py
 """
 
 from repro.apps.fio import FioJob, run_fio
-from repro.core.tuning import TuningPolicy
 from repro.hw import MesiCache, backend_lan_host, frontend_lan_host
 from repro.net.topology import wire_san
 from repro.sim.context import Context

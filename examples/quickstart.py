@@ -23,7 +23,7 @@ def main() -> None:
     )
 
     ceiling = system.fio_file_write_ceiling(runtime=15.0)
-    print(f"fio cross-check - narrowest stage (file write): "
+    print("fio cross-check - narrowest stage (file write): "
           f"{to_gbps(ceiling):.1f} Gbps  (paper: 94.8)\n")
 
     rftp = system.run_rftp_transfer(duration=30.0)
@@ -39,9 +39,9 @@ def main() -> None:
 
     speedup = rftp.goodput / gridftp.goodput
     print(f"RFTP is {speedup:.1f}x faster than GridFTP "
-          f"(paper: ~3.1x, 91 vs 29 Gbps)")
+          "(paper: ~3.1x, 91 vs 29 Gbps)")
     print(f"RFTP reaches {rftp.goodput / ceiling:.0%} of the effective "
-          f"end-to-end bandwidth (paper: 96%)")
+          "end-to-end bandwidth (paper: 96%)")
 
 
 if __name__ == "__main__":

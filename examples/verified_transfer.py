@@ -76,7 +76,7 @@ def main() -> None:
     out = np.zeros(size, dtype=np.uint8)
     ctx.sim.run(until=dst_fs.open("dataset.h5", O_RDONLY).read(size, data=out))
     identical = bool(np.array_equal(out, payload))
-    print(f"byte-for-byte comparison: "
+    print("byte-for-byte comparison: "
           f"{'identical' if identical else 'DIFFERENT'}")
     assert digest == expected and identical
 

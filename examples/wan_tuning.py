@@ -42,7 +42,7 @@ def measure(block_size: int, streams: int, seed: int = 0) -> tuple[float, float]
 def main() -> None:
     ctx = Context.create()
     link_rate = wire_wan(wan_host(ctx, "a"), wan_host(ctx, "b")).rate
-    print(f"ANI loop: 40 Gbps RoCE, RTT 95 ms, usable rate "
+    print("ANI loop: 40 Gbps RoCE, RTT 95 ms, usable rate "
           f"{to_gbps(link_rate):.1f} Gbps, BDP "
           f"{link_rate * 0.095 / 1e6:.0f} MB\n")
 

@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares fresh benchmark JSON (written by ``benchmarks/conftest.py`` into
+``benchmarks/results/``) against the committed baselines in
+``benchmarks/baselines/`` and fails the build when either
+
+* **correctness drifts** — any paper-anchored check value differs from the
+  baseline, or a check flips its pass/fail status, or a metric
+  appears/disappears; or
+* **performance regresses** — events/sec drops more than ``--tolerance``
+  (default 25%) below the baseline.
+
+Performance *improvements* and new result files without a baseline are
+reported but never fail the gate.  Usage::
+
+    python scripts/check_bench_regression.py \
+        [--results benchmarks/results] [--baselines benchmarks/baselines] \
+        [--tolerance 0.25]
+
+Exit status: 0 = gate passes, 1 = regression or drift, 2 = bad invocation
+(e.g. no baselines found).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_TOLERANCE = 0.25
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_json(path: pathlib.Path) -> dict:
+    with path.open() as fh:
+        return json.load(fh)
+
+
+def compare_checks(name: str, baseline: dict, fresh: dict) -> list[str]:
+    """Check-value drift errors between one baseline/fresh pair."""
+    errors: list[str] = []
+    base_checks = {c["metric"]: c for c in baseline.get("checks", [])}
+    fresh_checks = {c["metric"]: c for c in fresh.get("checks", [])}
+
+    for metric in base_checks.keys() - fresh_checks.keys():
+        errors.append(f"{name}: check {metric!r} disappeared")
+    for metric in fresh_checks.keys() - base_checks.keys():
+        errors.append(f"{name}: unexpected new check {metric!r} (refresh the baseline)")
+    for metric in base_checks.keys() & fresh_checks.keys():
+        b, f = base_checks[metric], fresh_checks[metric]
+        if b["measured"] != f["measured"]:
+            errors.append(
+                f"{name}: check {metric!r} drifted: "
+                f"baseline measured {b['measured']} != fresh {f['measured']}"
+            )
+        if b["ok"] != f["ok"]:
+            errors.append(
+                f"{name}: check {metric!r} status changed: "
+                f"baseline ok={b['ok']} != fresh ok={f['ok']}"
+            )
+    return errors
+
+
+def compare_performance(
+    name: str, baseline: dict, fresh: dict, tolerance: float
+) -> tuple[list[str], str]:
+    """(errors, human summary line) for the events/sec comparison."""
+    base_eps = float(baseline.get("events_per_sec", 0.0))
+    fresh_eps = float(fresh.get("events_per_sec", 0.0))
+    if base_eps <= 0:
+        return [], f"{name}: baseline has no events/sec figure; skipped"
+    ratio = fresh_eps / base_eps
+    summary = (
+        f"{name}: {fresh_eps:,.0f} events/s vs baseline {base_eps:,.0f} "
+        f"({ratio:.2f}x)"
+    )
+    if fresh_eps < base_eps * (1.0 - tolerance):
+        return [
+            f"{name}: events/sec regressed beyond {tolerance:.0%}: "
+            f"baseline {base_eps:,.0f} -> fresh {fresh_eps:,.0f} ({ratio:.2f}x)"
+        ], summary
+    return [], summary
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+        help="directory with fresh <name>.json files",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=pathlib.Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="directory with committed baseline <name>.json files",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed fractional events/sec drop (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    if not (0.0 <= args.tolerance < 1.0):
+        print(f"error: tolerance must be in [0, 1), got {args.tolerance}")
+        return 2
+    baselines = sorted(args.baselines.glob("*.json"))
+    if not baselines:
+        print(f"error: no baselines found under {args.baselines}")
+        return 2
+
+    errors: list[str] = []
+    for base_path in baselines:
+        name = base_path.stem
+        fresh_path = args.results / base_path.name
+        if not fresh_path.exists():
+            errors.append(f"{name}: no fresh result at {fresh_path}")
+            continue
+        baseline = load_json(base_path)
+        fresh = load_json(fresh_path)
+
+        if fresh.get("all_ok") is not True:
+            errors.append(f"{name}: fresh run reports all_ok={fresh.get('all_ok')!r}")
+        errors.extend(compare_checks(name, baseline, fresh))
+        perf_errors, summary = compare_performance(
+            name, baseline, fresh, args.tolerance
+        )
+        errors.extend(perf_errors)
+        print(summary)
+
+    extra = {p.stem for p in args.results.glob("*.json")} - {
+        p.stem for p in baselines
+    }
+    if extra:
+        print(f"note: results without a baseline (not gated): {sorted(extra)}")
+
+    if errors:
+        print(f"\nFAIL: {len(errors)} regression(s)/drift(s):")
+        for err in errors:
+            print(f"  - {err}")
+        return 1
+    print(f"\nOK: {len(baselines)} benchmark(s) within tolerance, no check drift")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

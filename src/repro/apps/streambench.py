@@ -56,7 +56,6 @@ def run_stream_model(
     paper measured at 50 GB/s.
     """
     ctx = machine.ctx
-    cal = ctx.cal
     flows = []
     for node in range(machine.n_nodes):
         policy = NumaPolicy.bind(node) if numa_aware else NumaPolicy.default()

@@ -38,7 +38,7 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     """Run the experiment; returns the paper-vs-measured report."""
     report = ExperimentReport(
         "ablation-latency-load",
-        f"A11 (extension): I/O completion latency vs concurrency "
+        "A11 (extension): I/O completion latency vs concurrency "
         f"({N_WORKERS}-worker target pool)",
         data_headers=["concurrent requesters", "mean latency (us)",
                       "mean queue wait (us)", "IOPS"],

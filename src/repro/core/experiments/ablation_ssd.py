@@ -35,7 +35,6 @@ def _sustained_write(ctx: Context, device, machine, duration: float,
         ctx.fluid.start(flow)
         flows.append(flow)
     samples = []
-    t0 = ctx.sim.now
     last = 0.0
     step = duration / 20.0
     for _ in range(20):

@@ -52,7 +52,7 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     offload = run_fio(system.ctx, system.host_b, devices_b,
                       FioJob(rw="write", block_size=BLOCK, runtime=runtime))
     # stage 2: transmission (3 x RoCE wire)
-    wire_rate = sum(l.rate for l in system.frontend_links)
+    wire_rate = sum(link.rate for link in system.frontend_links)
     wire_delay = system.frontend_links[0].delay
 
     breakdown = BlockDelayBreakdown.from_rates(

@@ -53,11 +53,11 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     report.add_check("SAN links attach to the FDR switch", "yes",
                      "yes" if len(system.san_a.switch.links) == 2 else "no",
                      ok=len(system.san_a.switch.links) == 2)
-    aggregate_roce = sum(l.rate for l in front)
+    aggregate_roce = sum(link.rate for link in front)
     report.add_check("front-end aggregate (line 120 Gbps)", "~118 usable",
                      round(to_gbps(aggregate_roce), 1),
                      ok=110 < to_gbps(aggregate_roce) < 120)
-    aggregate_ib = sum(l.rate for l in system.san_a.links)
+    aggregate_ib = sum(link.rate for link in system.san_a.links)
     report.add_check("back-end aggregate (line 112 Gbps)", "~108 usable",
                      round(to_gbps(aggregate_ib), 1),
                      ok=100 < to_gbps(aggregate_ib) < 112)

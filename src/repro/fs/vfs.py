@@ -234,7 +234,6 @@ class FileHandle:
         if not self.direct:
             self.fs.cache.access_range(self.pos, length, dirty=is_write)
         done = self.fs.ctx.sim.event(name=f"{self.path}/io")
-        start_pos = self.pos
         self.pos += length
 
         def go():

@@ -46,7 +46,13 @@ def getrusage(who: Union[SimThread, SimProcess]) -> Rusage:
 
 
 class HostMonitor:
-    """Periodic sampler of one machine's per-node resource utilization."""
+    """Periodic sampler of one machine's per-node resource utilization.
+
+    Besides the paper's CPU/memory/QPI views, it also samples the
+    simulation kernel's own counters (events processed per simulated
+    second) so a run's kernel load shows up next to the modelled
+    resources it drives.
+    """
 
     def __init__(self, machine: Machine, interval: float = 1.0):
         self.machine = machine
@@ -58,6 +64,8 @@ class HostMonitor:
             n: TimeSeries(f"mem{n}") for n in range(machine.n_nodes)
         }
         self.qpi = TimeSeries("qpi")
+        self.events = TimeSeries("events/s")
+        self._last_processed = machine.ctx.sim.stats.events_processed
         self._proc = periodic(machine.ctx.sim, interval, self._sample)
 
     def _sample(self, now: float) -> None:
@@ -71,6 +79,16 @@ class HostMonitor:
         if m.n_nodes > 1:
             q = m.qpi(0, 1)
             self.qpi.record(now, q.utilization)
+        processed = m.ctx.sim.stats.events_processed
+        self.events.record(now, (processed - self._last_processed) / self.interval)
+        self._last_processed = processed
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """Current kernel counters: engine (SimStats) + allocator (FluidStats)."""
+        snap: Dict[str, float] = dict(self.machine.ctx.sim.stats.as_dict())
+        fluid = self.machine.ctx.fluid
+        snap.update({f"fluid_{k}": v for k, v in fluid.stats.as_dict().items()})
+        return snap
 
     def stop(self) -> None:
         """Stop the activity; returns/flushes what it accumulated."""

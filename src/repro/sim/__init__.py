@@ -23,17 +23,19 @@ from repro.sim.engine import (
     Event,
     Interrupt,
     Process,
+    SimStats,
     SimulationError,
     Simulator,
     Timeout,
 )
-from repro.sim.fluid import FluidFlow, FluidResource, FluidScheduler
+from repro.sim.fluid import FluidFlow, FluidResource, FluidScheduler, FluidStats
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RngRegistry
-from repro.sim.trace import ThroughputProbe, TimeSeries, TraceLog
+from repro.sim.trace import EventRateProbe, ThroughputProbe, TimeSeries, TraceLog
 
 __all__ = [
     "Simulator",
+    "SimStats",
     "Event",
     "Timeout",
     "Process",
@@ -48,8 +50,10 @@ __all__ = [
     "FluidResource",
     "FluidFlow",
     "FluidScheduler",
+    "FluidStats",
     "RngRegistry",
     "TimeSeries",
     "ThroughputProbe",
+    "EventRateProbe",
     "TraceLog",
 ]

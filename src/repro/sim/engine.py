@@ -19,12 +19,14 @@ what this library needs.
 
 from __future__ import annotations
 
-import heapq
-from itertools import count
+import sys
+import time
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
     "Simulator",
+    "SimStats",
     "Event",
     "Timeout",
     "Process",
@@ -61,19 +63,37 @@ class Event:
     Lifecycle: *pending* -> triggered (scheduled on the heap) -> processed
     (callbacks ran).  ``succeed``/``fail`` trigger it; ``value`` holds the
     payload (or the exception for failed events).
+
+    Events are their own heap entries: ``_time``/``_prio``/``_seq`` are the
+    scheduling key (set by :meth:`Simulator._push`), so scheduling allocates
+    no per-event wrapper tuple.  The callback list is allocated lazily on
+    the first ``add_callback`` — most timeouts carry exactly one waiter and
+    many events none at all.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name")
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed", "name",
+                 "_time", "_prio", "_seq")
 
     _PENDING = object()
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = Event._PENDING
         self._ok: Optional[bool] = None
         self._processed = False
+        self._time = 0.0
+        self._prio = NORMAL
+        self._seq = 0
+
+    def __lt__(self, other: "Event") -> bool:
+        # Heap ordering: (time, priority, schedule sequence).
+        if self._time != other._time:
+            return self._time < other._time
+        if self._prio != other._prio:
+            return self._prio < other._prio
+        return self._seq < other._seq
 
     # -- state ------------------------------------------------------------
     @property
@@ -130,8 +150,10 @@ class Event:
         If the event has already been processed the callback runs
         immediately (this makes waiting on completed events race-free).
         """
-        if self.callbacks is None:
+        if self._processed:
             fn(self)
+        elif self.callbacks is None:
+            self.callbacks = [fn]
         else:
             self.callbacks.append(fn)
 
@@ -288,13 +310,63 @@ class AllOf(_Condition):
             self.succeed(self._collect())
 
 
+class SimStats:
+    """Kernel counters: scheduling volume, heap pressure and wall time.
+
+    ``events_scheduled``/``events_processed`` count heap pushes/pops,
+    ``heap_peak`` is the largest simultaneous schedule, ``timeouts_reused``
+    counts free-list hits, and ``wall_seconds`` accumulates real time spent
+    inside :meth:`Simulator.run`.
+    """
+
+    __slots__ = ("events_scheduled", "events_processed", "heap_peak",
+                 "timeouts_reused", "wall_seconds")
+
+    def __init__(self) -> None:
+        self.events_scheduled = 0
+        self.events_processed = 0
+        self.heap_peak = 0
+        self.timeouts_reused = 0
+        self.wall_seconds = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "events_scheduled": self.events_scheduled,
+            "events_processed": self.events_processed,
+            "heap_peak": self.heap_peak,
+            "timeouts_reused": self.timeouts_reused,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimStats scheduled={self.events_scheduled} "
+            f"processed={self.events_processed} heap_peak={self.heap_peak} "
+            f"timeouts_reused={self.timeouts_reused} "
+            f"wall={self.wall_seconds:.3g}s>"
+        )
+
+
+# Timeouts recycled per simulator; bounds free-list memory.
+_TIMEOUT_POOL_MAX = 256
+
+
 class Simulator:
     """The event loop: a clock plus a priority heap of triggered events."""
 
+    #: Process-global count of events processed by *all* simulators ever
+    #: created in this interpreter.  The benchmark harness snapshots this
+    #: around an experiment to derive an events/sec figure without needing
+    #: a handle on the (often many) simulators the experiment builds.
+    events_processed_total = 0
+
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, int, Event]] = []
-        self._seq = count()
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._timeout_pool: list[Timeout] = []
+        self.stats = SimStats()
 
     # -- clock --------------------------------------------------------------
     @property
@@ -304,7 +376,16 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------------
     def _push(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+        event._time = self._now + delay
+        event._prio = priority
+        self._seq = seq = self._seq + 1
+        event._seq = seq
+        heap = self._heap
+        heappush(heap, event)
+        stats = self.stats
+        stats.events_scheduled += 1
+        if len(heap) > stats.heap_peak:
+            stats.heap_peak = len(heap)
 
     # -- factories ------------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -312,7 +393,24 @@ class Simulator:
         return Event(self, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event firing *delay* seconds from now."""
+        """An event firing *delay* seconds from now.
+
+        Reuses a processed, unreferenced ``Timeout`` from the free list
+        when one is available (the dominant allocation in long runs).
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            tm = pool.pop()
+            tm._ok = True
+            tm._value = value
+            tm._processed = False
+            tm.callbacks = None
+            tm.name = ""
+            self.stats.timeouts_reused += 1
+            self._push(tm, NORMAL, delay=delay)
+            return tm
         return Timeout(self, delay, value)
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
@@ -332,19 +430,32 @@ class Simulator:
         """Process exactly one event."""
         if not self._heap:
             raise SimulationError("step() on an empty schedule")
-        t, _prio, _seq, event = heapq.heappop(self._heap)
+        event = heappop(self._heap)
+        t = event._time
         if t < self._now - 1e-12:
             raise SimulationError(f"time went backwards: {t} < {self._now}")
-        self._now = max(self._now, t)
+        if t > self._now:
+            self._now = t
+        self.stats.events_processed += 1
+        Simulator.events_processed_total += 1
         callbacks, event.callbacks = event.callbacks, None
         event._processed = True
         if callbacks:
             for cb in callbacks:
                 cb(event)
+        # Recycle plain timeouts nobody holds a reference to any more
+        # (CPython: the local `event` plus getrefcount's own argument).
+        if (
+            type(event) is Timeout
+            and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+            and sys.getrefcount(event) == 2
+        ):
+            event._value = None
+            self._timeout_pool.append(event)
 
     def peek(self) -> float:
         """Time of the next event, or +inf if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._heap[0]._time if self._heap else float("inf")
 
     def run(self, until: "float | Event | None" = None) -> Any:
         """Run the simulation.
@@ -354,27 +465,32 @@ class Simulator:
         * ``until=Event`` — run until the event fires; returns its value
           (raising if the event failed).
         """
-        if until is None:
-            while self._heap:
+        t0 = time.perf_counter()
+        try:
+            if until is None:
+                while self._heap:
+                    self.step()
+                return None
+
+            if isinstance(until, Event):
+                target = until
+                while not target.processed:
+                    if not self._heap:
+                        raise SimulationError(
+                            f"simulation starved before {target!r} fired"
+                        )
+                    self.step()
+                if target._ok:
+                    return target._value
+                raise target._value
+
+            horizon = float(until)
+            if horizon < self._now:
+                raise SimulationError(f"cannot run until {horizon} < now={self._now}")
+            heap = self._heap
+            while heap and heap[0]._time <= horizon:
                 self.step()
+            self._now = horizon
             return None
-
-        if isinstance(until, Event):
-            target = until
-            while not target.processed:
-                if not self._heap:
-                    raise SimulationError(
-                        f"simulation starved before {target!r} fired"
-                    )
-                self.step()
-            if target._ok:
-                return target._value
-            raise target._value
-
-        horizon = float(until)
-        if horizon < self._now:
-            raise SimulationError(f"cannot run until {horizon} < now={self._now}")
-        while self._heap and self._heap[0][0] <= horizon:
-            self.step()
-        self._now = horizon
-        return None
+        finally:
+            self.stats.wall_seconds += time.perf_counter() - t0

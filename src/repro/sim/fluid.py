@@ -36,9 +36,44 @@ from typing import Any, Iterable, Optional, Protocol, Sequence
 
 from repro.sim.engine import Event, SimulationError, Simulator
 
-__all__ = ["FluidResource", "FluidFlow", "FluidScheduler", "ChargeAccount"]
+__all__ = ["FluidResource", "FluidFlow", "FluidScheduler", "FluidStats", "ChargeAccount"]
 
 _EPS = 1e-9
+
+
+class FluidStats:
+    """Allocator counters: how much work incremental rebalancing avoids.
+
+    ``rebalances`` counts :meth:`FluidScheduler._rebalance` calls,
+    ``allocations`` those that actually recomputed rates (a dirty set was
+    pending), ``flows_recomputed`` the flows touched by progressive
+    filling, and ``flows_skipped`` the active flows whose cached rates
+    were provably unaffected and therefore reused.
+    """
+
+    __slots__ = ("rebalances", "allocations", "flows_recomputed", "flows_skipped")
+
+    def __init__(self) -> None:
+        self.rebalances = 0
+        self.allocations = 0
+        self.flows_recomputed = 0
+        self.flows_skipped = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "rebalances": self.rebalances,
+            "allocations": self.allocations,
+            "flows_recomputed": self.flows_recomputed,
+            "flows_skipped": self.flows_skipped,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<FluidStats rebalances={self.rebalances} "
+            f"allocations={self.allocations} "
+            f"recomputed={self.flows_recomputed} skipped={self.flows_skipped}>"
+        )
 
 
 class ChargeAccount(Protocol):
@@ -78,17 +113,17 @@ class FluidResource:
             return
         self.scheduler.settle()
         self._capacity = float(capacity)
+        self.scheduler._dirty[self] = None
         self.scheduler._rebalance()
 
     @property
     def load(self) -> float:
-        """Current weighted demand through this resource (bytes/s)."""
-        total = 0.0
-        for flow in self.scheduler._active:
-            w = flow._weights.get(self, 0.0)
-            if w:
-                total += w * flow.rate
-        return total
+        """Current weighted demand through this resource (bytes/s).
+
+        Served from the scheduler's per-resource cache, refreshed on every
+        rebalance — O(1) instead of a scan over all active flows.
+        """
+        return self.scheduler._load.get(self, 0.0)
 
     @property
     def utilization(self) -> float:
@@ -190,6 +225,15 @@ class FluidScheduler:
         self._active: list[FluidFlow] = []
         self._last_settle = sim.now
         self._timer_generation = 0
+        # Incremental-allocation state.  ``_users`` maps each resource to
+        # its active flows (insertion-ordered for run-to-run determinism);
+        # ``_dirty``/``_dirty_flows`` seed the next allocation's affected
+        # set; ``_load`` caches each resource's allocated weighted demand.
+        self._users: dict[FluidResource, dict[FluidFlow, None]] = {}
+        self._dirty: dict[FluidResource, None] = {}
+        self._dirty_flows: dict[FluidFlow, None] = {}
+        self._load: dict[FluidResource, float] = {}
+        self.stats = FluidStats()
 
     # -- public API ------------------------------------------------------------
     def start(self, flow: FluidFlow) -> Event:
@@ -204,6 +248,10 @@ class FluidScheduler:
         flow._active = True
         flow.started_at = self.sim.now
         self._active.append(flow)
+        for r in flow._weights:
+            self._users.setdefault(r, {})[flow] = None
+            self._dirty[r] = None
+        self._dirty_flows[flow] = None
         self._rebalance()
         return flow.done
 
@@ -227,6 +275,9 @@ class FluidScheduler:
         self.settle()
         flow.cap = cap
         if flow._active:
+            for r in flow._weights:
+                self._dirty[r] = None
+            self._dirty_flows[flow] = None
             self._rebalance()
 
     def settle(self) -> None:
@@ -237,11 +288,15 @@ class FluidScheduler:
             self._last_settle = now
             return
         for flow in self._active:
-            if flow.rate <= 0:
+            rate = flow.rate
+            if rate <= 0:
                 continue
-            delta = flow.rate * elapsed
-            if flow.size is not None:
-                delta = min(delta, flow.size - flow.transferred)
+            delta = rate * elapsed
+            size = flow.size
+            if size is not None:
+                remaining = size - flow.transferred
+                if delta > remaining:
+                    delta = remaining
             if delta <= 0:
                 continue
             flow.transferred += delta
@@ -260,28 +315,102 @@ class FluidScheduler:
         flow.rate = 0.0
         flow.finished_at = self.sim.now
         self._active.remove(flow)
+        users = self._users
+        for r in flow._weights:
+            res_users = users.get(r)
+            if res_users is not None:
+                res_users.pop(flow, None)
+                if not res_users:
+                    del users[r]
+            self._dirty[r] = None
         if flow.done is not None and not flow.done.triggered:
             flow.done.succeed(flow.transferred)
 
     def _rebalance(self) -> None:
         """Recompute the max-min fair rates; reschedule next completion."""
+        self.stats.rebalances += 1
         self._allocate()
         self._schedule_next_completion()
 
+    def _affected(self) -> tuple[list[FluidFlow], list[FluidResource]]:
+        """Close the dirty seed over the flow/resource sharing graph.
+
+        Max-min fairness decomposes over connected components of the
+        bipartite flow-resource graph, so only the components containing a
+        dirty resource (or dirty flow) can see their rates change; every
+        other active flow keeps its cached rate.
+        """
+        users = self._users
+        affected_flows: list[FluidFlow] = []
+        affected_res: list[FluidResource] = []
+        seen_flows: set[FluidFlow] = set()
+        seen_res: set[FluidResource] = set()
+        stack: list[FluidResource] = []
+        for r in self._dirty:
+            if r not in seen_res:
+                seen_res.add(r)
+                affected_res.append(r)
+                stack.append(r)
+        for f in self._dirty_flows:
+            if f._active and f not in seen_flows:
+                seen_flows.add(f)
+                affected_flows.append(f)
+                for r in f._weights:
+                    if r not in seen_res:
+                        seen_res.add(r)
+                        affected_res.append(r)
+                        stack.append(r)
+        while stack:
+            r = stack.pop()
+            for f in users.get(r, ()):
+                if f in seen_flows:
+                    continue
+                seen_flows.add(f)
+                affected_flows.append(f)
+                for r2 in f._weights:
+                    if r2 not in seen_res:
+                        seen_res.add(r2)
+                        affected_res.append(r2)
+                        stack.append(r2)
+        return affected_flows, affected_res
+
     def _allocate(self) -> None:
-        flows = self._active
-        if not flows:
+        """Recompute max-min fair rates for the components touched by the
+        dirty set (incremental progressive filling)."""
+        if not self._dirty and not self._dirty_flows:
             return
-        rate = {f: 0.0 for f in flows}
-        unfrozen: set[FluidFlow] = set(flows)
+        flows, touched_res = self._affected()
+        self._dirty.clear()
+        self._dirty_flows.clear()
+        stats = self.stats
+        stats.allocations += 1
+        stats.flows_recomputed += len(flows)
+        stats.flows_skipped += len(self._active) - len(flows)
+        load = self._load
+        if not flows:
+            for r in touched_res:
+                load[r] = 0.0
+            return
+
+        rate = dict.fromkeys(flows, 0.0)
+        unfrozen = dict.fromkeys(flows)
+        # Per-resource residual capacity and weight-sum over *unfrozen*
+        # users; the weight sums are maintained incrementally as flows
+        # freeze instead of being recomputed every filling round.
         residual: dict[FluidResource, float] = {}
-        users: dict[FluidResource, set[FluidFlow]] = {}
+        wsum: dict[FluidResource, float] = {}
+        ucount: dict[FluidResource, int] = {}  # unfrozen users (exact)
+        res_users: dict[FluidResource, list[FluidFlow]] = {}
         for f in flows:
-            for r in f._weights:
+            for r, w in f._weights.items():
                 if r not in residual:
                     residual[r] = r.capacity
-                    users[r] = set()
-                users[r].add(f)
+                    wsum[r] = 0.0
+                    ucount[r] = 0
+                    res_users[r] = []
+                wsum[r] += w
+                ucount[r] += 1
+                res_users[r].append(f)
 
         guard = 0
         while unfrozen:
@@ -289,57 +418,86 @@ class FluidScheduler:
             if guard > 4 * len(flows) + 8:  # pragma: no cover - safety net
                 raise SimulationError("progressive filling failed to converge")
             delta = math.inf
-            for r, res_users in users.items():
-                wsum = sum(f._weights[r] for f in res_users if f in unfrozen)
-                if wsum > 0 and math.isfinite(residual[r]):
-                    delta = min(delta, max(0.0, residual[r]) / wsum)
+            for r, ws in wsum.items():
+                if ws > 0 and math.isfinite(residual[r]):
+                    d = residual[r] / ws
+                    if d < delta:
+                        delta = d if d > 0.0 else 0.0
             for f in unfrozen:
                 if f.cap is not None:
-                    delta = min(delta, f.cap - rate[f])
+                    d = f.cap - rate[f]
+                    if d < delta:
+                        delta = d
             if not math.isfinite(delta):
                 names = sorted(f.name for f in unfrozen)
                 raise SimulationError(f"unbounded flows in allocation: {names}")
-            delta = max(0.0, delta)
+            if delta < 0.0:
+                delta = 0.0
             if delta > 0:
                 for f in unfrozen:
                     rate[f] += delta
-                for r, res_users in users.items():
-                    wsum = sum(f._weights[r] for f in res_users if f in unfrozen)
-                    if wsum > 0:
-                        residual[r] -= delta * wsum
-            # freeze flows at their cap
-            newly_frozen = {
+                for r, ws in wsum.items():
+                    if ws > 0:
+                        residual[r] -= delta * ws
+            # freeze flows at their cap, then flows on saturated resources
+            newly_frozen = [
                 f
                 for f in unfrozen
                 if f.cap is not None and rate[f] >= f.cap - _EPS * max(1.0, f.cap)
-            }
-            # freeze flows on saturated resources
-            for r, res_users in users.items():
-                if residual[r] <= _EPS * max(1.0, r.capacity):
-                    newly_frozen |= {f for f in res_users if f in unfrozen}
+            ]
+            frozen_set = set(newly_frozen)
+            for r, rest in residual.items():
+                if rest <= _EPS * max(1.0, r.capacity):
+                    for f in res_users[r]:
+                        if f in unfrozen and f not in frozen_set:
+                            frozen_set.add(f)
+                            newly_frozen.append(f)
             if not newly_frozen:  # pragma: no cover - numerical corner
-                newly_frozen = set(unfrozen)
-            unfrozen -= newly_frozen
+                newly_frozen = list(unfrozen)
+            for f in newly_frozen:
+                if f in unfrozen:
+                    del unfrozen[f]
+                    for r, w in f._weights.items():
+                        n = ucount[r] - 1
+                        ucount[r] = n
+                        # Zero exactly when the last user freezes: the
+                        # incremental subtraction leaves fp dust that would
+                        # otherwise keep a fully-frozen resource in play.
+                        wsum[r] = wsum[r] - w if n else 0.0
 
         for f in flows:
             f.rate = rate[f]
+        users = self._users
+        for r in touched_res:
+            total = 0.0
+            for f in users.get(r, ()):
+                total += f._weights[r] * f.rate
+            load[r] = total
 
     def _schedule_next_completion(self) -> None:
         self._timer_generation += 1
         gen = self._timer_generation
         horizon = math.inf
         for f in self._active:
-            if f.size is None or f.rate <= 0:
+            size = f.size
+            if size is None or f.rate <= 0:
                 continue
-            remaining = f.size - f.transferred
-            if remaining <= _EPS * f.size:
+            remaining = size - f.transferred
+            if remaining <= _EPS * size:
                 horizon = 0.0
                 break
-            horizon = min(horizon, remaining / f.rate)
+            eta = remaining / f.rate
+            if eta < horizon:
+                horizon = eta
         if not math.isfinite(horizon):
             return
-        timer = self.sim.timeout(horizon)
-        timer.add_callback(lambda _ev: self._on_timer(gen))
+        # The generation rides in the timeout's value so no per-rebalance
+        # closure needs to be allocated.
+        timer = self.sim.timeout(horizon, gen)
+        timer.add_callback(self._on_timer_event)
+
+    def _on_timer_event(self, ev: Event) -> None:
+        self._on_timer(ev._value)
 
     def _on_timer(self, generation: int) -> None:
         if generation != self._timer_generation:

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.sim.engine import Simulator
 
-__all__ = ["TimeSeries", "ThroughputProbe", "TraceLog", "periodic"]
+__all__ = ["TimeSeries", "ThroughputProbe", "EventRateProbe", "TraceLog", "periodic"]
 
 
 @dataclass
@@ -141,6 +141,34 @@ class ThroughputProbe:
         return self.series
 
 
+class EventRateProbe:
+    """Samples the kernel's event counters into a rate time series.
+
+    Each sample records how many simulator events were processed per
+    *simulated* second over the last interval — the kernel-load view that
+    pairs with :class:`ThroughputProbe`'s byte view.  Reads the
+    :class:`~repro.sim.engine.SimStats` counters maintained by the engine.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 1.0, name: str = ""):
+        self.sim = sim
+        self.interval = interval
+        self.series = TimeSeries(name=name or "events/s")
+        self._last_processed = sim.stats.events_processed
+        self._proc = periodic(sim, interval, self._sample)
+
+    def _sample(self, now: float) -> None:
+        processed = self.sim.stats.events_processed
+        self.series.record(now, (processed - self._last_processed) / self.interval)
+        self._last_processed = processed
+
+    def stop(self) -> TimeSeries:
+        """Stop the activity; returns/flushes what it accumulated."""
+        if self._proc.is_alive:
+            self._proc.interrupt("probe stopped")
+        return self.series
+
+
 @dataclass(frozen=True)
 class TraceRecord:
     """One structured trace entry."""
@@ -166,6 +194,10 @@ class TraceLog:
         self.records.append(
             TraceRecord(self.sim.now, category, message, tuple(sorted(fields.items())))
         )
+
+    def snapshot_stats(self, category: str = "sim-stats") -> None:
+        """Emit one record carrying the simulator's kernel counters."""
+        self.emit(category, "kernel counters", **self.sim.stats.as_dict())
 
     def filter(self, category: str) -> list[TraceRecord]:
         """Entries of one category."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.apps.fio import FioJob, FioResult, run_fio
+from repro.apps.fio import FioJob, run_fio
 from repro.apps.iperf import run_iperf
 from repro.apps.streambench import run_stream_model, run_stream_real
 from repro.hw import Machine, backend_lan_host, frontend_lan_host

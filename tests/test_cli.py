@@ -1,8 +1,5 @@
 """Tests for the CLI (`python -m repro`) and the EXPERIMENTS.md generator."""
 
-import pathlib
-
-import pytest
 
 from repro.__main__ import main
 from repro.core.reportgen import generate_experiments_md
@@ -44,7 +41,7 @@ def test_generator_counts_checks():
     text = generate_experiments_md(quick=True)
     assert "Scorecard:" in text
     # scorecard reads "N/N" with N == N (all reproduce)
-    line = next(l for l in text.splitlines() if "Scorecard" in l)
+    line = next(ln for ln in text.splitlines() if "Scorecard" in ln)
     nums = line.split("Scorecard:")[1].split()[0]
     ok, total = nums.split("/")
     assert ok == total

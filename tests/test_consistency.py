@@ -18,7 +18,7 @@ from repro.rdma import ConnectionManager, Opcode, ProtectionDomain, WorkRequest
 from repro.sim.context import Context
 from repro.storage import IoRequest, IserInitiator, IserTarget
 from repro.storage.iser import io_round_trip_latency
-from repro.util.units import GIB, MIB
+from repro.util.units import MIB
 
 
 def rdma_pair(seed=81):

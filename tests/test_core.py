@@ -4,7 +4,7 @@ report, and the composed EndToEndSystem."""
 import pytest
 
 from repro.core.breakdown import BlockDelayBreakdown, fig4_categories
-from repro.core.calibration import CALIBRATION, Calibration
+from repro.core.calibration import CALIBRATION
 from repro.core.metrics import CpuBreakdown, RunResult
 from repro.core.report import ExperimentReport
 from repro.core.system import EndToEndSystem

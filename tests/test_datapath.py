@@ -20,7 +20,7 @@ from repro.datapath import (
 def test_pool_acquire_release_cycle():
     pool = BufferPool(n_buffers=2, buffer_size=64)
     a = pool.acquire()
-    b = pool.acquire()
+    pool.acquire()
     assert pool.acquire() is None  # exhausted
     a.release()
     c = pool.acquire()

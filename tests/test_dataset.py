@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.rftp.dataset import (
-    Dataset,
     effective_bandwidth,
     synth_dataset,
     transfer_time_estimate,

@@ -10,8 +10,6 @@ changes and assert global invariants at every sampled instant:
 * completion — sized flows finish exactly (never over-deliver).
 """
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

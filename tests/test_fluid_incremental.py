@@ -1,0 +1,168 @@
+"""Equivalence: the incremental allocator vs a brute-force full recompute.
+
+The scheduler only recomputes the connected components of the
+flow/resource sharing graph touched by a change; everything else keeps
+its cached rate.  These tests drive randomized churn — flow starts,
+stops, cap changes and capacity changes — from named ``RngRegistry``
+streams and, after *every* mutation, compare each active flow's rate
+against a from-scratch progressive-filling reference over the full flow
+set (the pre-incremental algorithm).
+"""
+
+import math
+
+import pytest
+
+from repro.sim import FluidFlow, FluidResource, FluidScheduler, Simulator
+from repro.sim.rng import RngRegistry
+
+
+def brute_force_rates(active):
+    """Max-min fair rates via full-recompute progressive filling."""
+    flows = list(active)
+    if not flows:
+        return {}
+    rate = {f: 0.0 for f in flows}
+    unfrozen = set(flows)
+    resources: list[FluidResource] = []
+    seen: set[FluidResource] = set()
+    for f in flows:
+        for r in f._weights:
+            if r not in seen:
+                seen.add(r)
+                resources.append(r)
+
+    def used(r):
+        return sum(f._weights.get(r, 0.0) * rate[f] for f in flows)
+
+    guard = 0
+    while unfrozen:
+        guard += 1
+        assert guard <= 4 * len(flows) + 8, "reference filling failed to converge"
+        delta = math.inf
+        for r in resources:
+            wsum = sum(f._weights[r] for f in unfrozen if r in f._weights)
+            if wsum > 0 and math.isfinite(r.capacity):
+                d = (r.capacity - used(r)) / wsum
+                if d < delta:
+                    delta = d if d > 0.0 else 0.0
+        for f in unfrozen:
+            if f.cap is not None:
+                d = f.cap - rate[f]
+                if d < delta:
+                    delta = d
+        assert math.isfinite(delta), "unbounded flow in reference filling"
+        if delta < 0.0:
+            delta = 0.0
+        if delta > 0:
+            for f in unfrozen:
+                rate[f] += delta
+        newly = [
+            f
+            for f in unfrozen
+            if f.cap is not None and rate[f] >= f.cap - 1e-9 * max(1.0, f.cap)
+        ]
+        frozen = set(newly)
+        for r in resources:
+            if not math.isfinite(r.capacity):
+                continue
+            if r.capacity - used(r) <= 1e-9 * max(1.0, r.capacity):
+                for f in unfrozen:
+                    if r in f._weights and f not in frozen:
+                        frozen.add(f)
+                        newly.append(f)
+        if not newly:
+            newly = list(unfrozen)
+        unfrozen -= set(newly)
+    return rate
+
+
+def assert_matches_reference(sched, resources):
+    expected = brute_force_rates(sched.active_flows)
+    for f, want in expected.items():
+        assert f.rate == pytest.approx(want, rel=1e-6, abs=1e-6), f.name
+    for r in resources:
+        want_load = sum(
+            f._weights[r] * f.rate for f in sched.active_flows if r in f._weights
+        )
+        assert r.load == pytest.approx(want_load, rel=1e-9, abs=1e-6), r.name
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 7, 42])
+def test_incremental_matches_brute_force_under_churn(seed):
+    rng = RngRegistry(seed=seed)
+    topo = rng.stream("topology")
+    ops = rng.stream("ops")
+    sim = Simulator()
+    sched = FluidScheduler(sim)
+    n_res = int(topo.integers(2, 7))
+    resources = [
+        FluidResource(sched, float(topo.uniform(20.0, 500.0)), f"r{i}")
+        for i in range(n_res)
+    ]
+    active: list[FluidFlow] = []
+    made = 0
+    for _ in range(120):
+        choice = ops.random()
+        if choice < 0.45 or not active:
+            k = int(ops.integers(1, min(3, n_res) + 1))
+            picks = ops.choice(n_res, size=k, replace=False)
+            path = [(resources[int(i)], float(ops.uniform(0.5, 2.5))) for i in picks]
+            cap = float(ops.uniform(5.0, 400.0)) if ops.random() < 0.4 else None
+            flow = FluidFlow(path, size=None, cap=cap, name=f"f{made}")
+            made += 1
+            sched.start(flow)
+            active.append(flow)
+        elif choice < 0.70:
+            flow = active.pop(int(ops.integers(0, len(active))))
+            sched.stop(flow)
+        elif choice < 0.85:
+            flow = active[int(ops.integers(0, len(active)))]
+            cap = float(ops.uniform(5.0, 400.0)) if ops.random() < 0.8 else None
+            sched.set_cap(flow, cap)
+        else:
+            res = resources[int(ops.integers(0, n_res))]
+            res.set_capacity(float(ops.uniform(20.0, 500.0)))
+        assert_matches_reference(sched, resources)
+    assert sched.stats.allocations > 0
+    assert sched.stats.flows_recomputed > 0
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_incremental_matches_brute_force_with_completions(seed):
+    """Sized flows finishing on their own also leave a max-min allocation."""
+    rng = RngRegistry(seed=seed)
+    topo = rng.stream("topology")
+    ops = rng.stream("ops")
+    sim = Simulator()
+    sched = FluidScheduler(sim)
+    n_res = int(topo.integers(2, 5))
+    resources = [
+        FluidResource(sched, float(topo.uniform(50.0, 300.0)), f"r{i}")
+        for i in range(n_res)
+    ]
+
+    def starter(delay, flow):
+        yield sim.timeout(delay)
+        sched.start(flow)
+
+    for i in range(25):
+        k = int(ops.integers(1, min(3, n_res) + 1))
+        picks = ops.choice(n_res, size=k, replace=False)
+        path = [(resources[int(j)], float(ops.uniform(0.5, 2.0))) for j in picks]
+        flow = FluidFlow(
+            path,
+            size=float(ops.uniform(100.0, 3000.0)),
+            cap=float(ops.uniform(10.0, 200.0)) if ops.random() < 0.3 else None,
+            name=f"f{i}",
+        )
+        sim.process(starter(float(ops.uniform(0.0, 30.0)), flow))
+
+    t = 0.0
+    while t < 90.0:
+        t += 1.5
+        sim.run(until=t)
+        assert_matches_reference(sched, resources)
+    sim.run()
+    assert_matches_reference(sched, resources)
+    assert not sched.active_flows  # everything sized eventually completes

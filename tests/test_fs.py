@@ -204,6 +204,6 @@ def test_extent_mapping_covers_requested_range(n_mib, data):
     offset = data.draw(st.integers(min_value=0, max_value=size - 1))
     length = data.draw(st.integers(min_value=1, max_value=size - offset))
     runs = inode.map_range(offset, length)
-    assert sum(l for _, l in runs) == length
+    assert sum(run_len for _, run_len in runs) == length
     # contiguous file: single run starting at the right device offset
     assert runs[0][0] == inode.extents[0].device_offset + offset

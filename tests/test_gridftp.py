@@ -5,7 +5,7 @@ import pytest
 from repro.apps.gridftp import GridFtp, _harmonic
 from repro.core.system import EndToEndSystem
 from repro.core.tuning import TuningPolicy
-from repro.util.units import GB, to_gbps
+from repro.util.units import GB
 
 
 def system(seed=1, tuning=None):

@@ -80,6 +80,6 @@ def test_full_mode_ledger_generates():
     from repro.core.reportgen import generate_experiments_md
 
     text = generate_experiments_md(quick=False, seed=1)
-    line = next(l for l in text.splitlines() if "Scorecard" in l)
+    line = next(ln for ln in text.splitlines() if "Scorecard" in ln)
     ok, total = line.split("Scorecard:")[1].split()[0].split("/")
     assert ok == total

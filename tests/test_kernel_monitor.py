@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.iperf import run_iperf
 from repro.hw import Machine, frontend_lan_host
-from repro.kernel import NumaPolicy, SimProcess
+from repro.kernel import SimProcess
 from repro.kernel.monitor import HostMonitor, Rusage, getrusage
 from repro.net.topology import wire_frontend_lan
 from repro.sim.context import Context

@@ -5,7 +5,6 @@ import pytest
 from repro.hw import Machine, Nic, NicKind, frontend_lan_host, wan_host
 from repro.kernel import NumaPolicy, SimProcess, place_region
 from repro.net import (
-    Link,
     TcpConnection,
     connect,
     ib_payload_efficiency,
@@ -108,7 +107,7 @@ def test_wire_frontend_lan_three_links():
     server = frontend_lan_host(c, "server")
     links = wire_frontend_lan(client, server)
     assert len(links) == 3
-    total = sum(l.rate for l in links)
+    total = sum(link.rate for link in links)
     assert to_gbps(total) > 110  # ~118 Gbps usable out of 120 line
 
 
@@ -120,7 +119,7 @@ def test_wire_san_two_links():
     back = backend_lan_host(c, "back")
     wiring = wire_san(c, front, back)
     assert len(wiring.links) == 2
-    assert to_gbps(sum(l.rate for l in wiring.links)) > 100  # 2 x FDR
+    assert to_gbps(sum(link.rate for link in wiring.links)) > 100  # 2 x FDR
 
 
 def test_wire_wan_delay():
@@ -249,7 +248,7 @@ def test_tcp_close_returns_bytes():
 def test_tcp_wan_slow_start_limits_early_throughput():
     c = ctx()
     nersc, anl = wan_host(c, "nersc"), wan_host(c, "anl")
-    link = wire_wan(nersc, anl)
+    wire_wan(nersc, anl)
     sproc = SimProcess(nersc, "s", cpu_policy=NumaPolicy.bind(0))
     rproc = SimProcess(anl, "r", cpu_policy=NumaPolicy.bind(0))
     sbuf = place_region(1 << 30, sproc.mem_policy, 2, touch_node=0)

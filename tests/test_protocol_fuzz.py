@@ -6,7 +6,6 @@ internal exception.  These properties catch the classic parser bugs
 (short reads, bad enum values, length-field lies).
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -55,7 +55,7 @@ def test_handshake_takes_three_trips():
     b = Machine(c, "b", pcie_sockets=(0,))
     na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
     nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
-    link = connect(na, nb, delay=1e-3)
+    connect(na, nb, delay=1e-3)
     qp_a, qp_b, hs = ConnectionManager(c).connect_pair(na, nb, name="qp")
     assert not qp_a.connected
     c.sim.run(until=hs)

@@ -188,7 +188,7 @@ def test_ssd_bursts_then_throttles():
 
 def test_ssd_recovers_after_idle():
     c = ctx()
-    m = machine(c)
+    machine(c)
     ssd = SsdDevice(c, "d", capacity_bytes=1_000 * GB, burst_rate=1.4e9,
                     throttled_rate=0.5e9, thermal_budget=10e9)
     done = ssd.submit(IoRequest(True, offset=0, length=30 * GB))

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.hw import backend_lan_host, frontend_lan_host
-from repro.kernel import NumaPolicy, SimProcess
+from repro.kernel import NumaPolicy
 from repro.net.topology import wire_san
 from repro.sim.context import Context
 from repro.storage import IoRequest, IserInitiator, IserTarget

@@ -9,7 +9,6 @@ from repro.kernel import NumaPolicy, SimProcess, place_region
 from repro.net.tcp import TcpConnection, TcpEndpoint
 from repro.net.topology import wire_wan
 from repro.sim.context import Context
-from repro.util.units import to_gbps
 
 
 def wan_conns(n, seed=131, window=None):
