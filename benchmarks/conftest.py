@@ -8,6 +8,22 @@ per-check pass/fail) and prints the report (visible with ``pytest -s``
 or in the saved files).  The JSON files are what
 ``scripts/check_bench_regression.py`` compares against the committed
 baselines in ``benchmarks/baselines/``.
+
+Two environment knobs wire the benchmarks into :mod:`repro.exec`:
+
+* ``REPRO_BENCH_JOBS=N`` — fan each experiment's independent simulation
+  legs across N worker processes.  Off (serial) by default: with
+  parallel legs the ``ops``/``events_per_sec`` fields only count the
+  parent process's simulator events, so keep it serial when refreshing
+  baselines.
+* ``REPRO_BENCH_CACHE_DIR=DIR`` — serve legs from the content-addressed
+  result cache at DIR.  Off by default so benchmark wall times measure
+  simulation, not cache reads.
+
+Whatever the knobs, the measured *check values* are identical — the
+executor never changes results, only where and whether they compute.
+The JSON payload records the knobs (``jobs``, ``cache``) so a cached or
+parallel run is never mistaken for a serial baseline.
 """
 
 from __future__ import annotations
@@ -19,9 +35,19 @@ import time
 
 import pytest
 
+from repro.exec import ResultCache, executor
 from repro.sim.engine import Simulator
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+BENCH_CACHE_DIR = os.environ.get("REPRO_BENCH_CACHE_DIR", "")
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> ResultCache | None:
+    """One shared result cache per session when REPRO_BENCH_CACHE_DIR is set."""
+    return ResultCache(BENCH_CACHE_DIR) if BENCH_CACHE_DIR else None
 
 
 @pytest.fixture(scope="session")
@@ -31,7 +57,7 @@ def results_dir() -> pathlib.Path:
 
 
 @pytest.fixture
-def run_experiment(benchmark, results_dir):
+def run_experiment(benchmark, results_dir, bench_cache):
     """Benchmark an experiment module and persist its report + JSON."""
 
     def _run(module, name: str, quick: bool | None = None):
@@ -43,7 +69,8 @@ def run_experiment(benchmark, results_dir):
         def _timed(**kwargs):
             events_before = Simulator.events_processed_total
             t0 = time.perf_counter()
-            rep = module.run(**kwargs)
+            with executor(jobs=BENCH_JOBS, cache=bench_cache):
+                rep = module.run(**kwargs)
             measured["wall_seconds"] = time.perf_counter() - t0
             measured["events"] = Simulator.events_processed_total - events_before
             return rep
@@ -62,6 +89,8 @@ def run_experiment(benchmark, results_dir):
             "ops": events,
             "wall_seconds": wall,
             "events_per_sec": events / wall if wall > 0 else 0.0,
+            "jobs": BENCH_JOBS,
+            "cache": bench_cache.stats.as_dict() if bench_cache else None,
             "all_ok": report.all_ok,
             "checks": [
                 {

@@ -6,19 +6,28 @@ Usage::
     python -m repro run fig09            # run one experiment, print report
     python -m repro run all              # run everything
     python -m repro report [-o FILE]     # regenerate EXPERIMENTS.md
+    python -m repro report -j 4          # ... fanned across 4 worker processes
     python -m repro run fig09 --full     # paper-scale durations
 
 Exit status is non-zero if any paper-anchored check diverges.
+
+Independent simulation tasks fan out across ``--jobs`` worker processes
+and are served from a content-addressed result cache under
+``--cache-dir`` (reports only; disable with ``--no-cache``).  Output is
+byte-identical whatever the jobs count or cache state — parallelism and
+caching only change the wall clock.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
 from repro.core import experiments as E
 from repro.core.reportgen import generate_experiments_md
+from repro.exec import ResultCache, executor
 
 
 def _all_modules():
@@ -48,13 +57,14 @@ def cmd_run(args) -> int:
         print(f"available: {', '.join(mods)}", file=sys.stderr)
         return 2
     failures = 0
-    for name in names:
-        t0 = time.time()
-        report = mods[name].run(quick=not args.full, seed=args.seed)
-        print(report.render())
-        print(f"\n[{name} finished in {time.time() - t0:.1f}s wall]\n")
-        if not report.all_ok:
-            failures += 1
+    with executor(jobs=args.jobs):
+        for name in names:
+            t0 = time.time()
+            report = mods[name].run(quick=not args.full, seed=args.seed)
+            print(report.render())
+            print(f"\n[{name} finished in {time.time() - t0:.1f}s wall]\n")
+            if not report.all_ok:
+                failures += 1
     if failures:
         print(f"{failures} experiment(s) diverged from the paper",
               file=sys.stderr)
@@ -63,12 +73,36 @@ def cmd_run(args) -> int:
 
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    stats: dict = {}
     text = generate_experiments_md(quick=not args.full, seed=args.seed,
-                                   verbose=True)
+                                   verbose=True, jobs=args.jobs, cache=cache,
+                                   stats=stats)
     with open(args.output, "w") as fh:
         fh.write(text)
     print(f"wrote {args.output}")
+    cache_note = (
+        f"cache: {stats['cache']['hits']} hits / {stats['cache']['misses']} "
+        f"misses (dir: {args.cache_dir})"
+        if stats.get("cache") is not None else "cache: disabled"
+    )
+    # The footer goes to the console, never into the ledger: EXPERIMENTS.md
+    # must stay byte-identical across jobs counts and cache states.
+    print(f"[report] jobs={stats['jobs']}  tasks={stats['tasks']} "
+          f"(executed {stats['executed']})  {cache_note}  "
+          f"wall={stats['wall_seconds']:.2f}s")
+    if args.stats_json:
+        with open(args.stats_json, "w") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     return 0
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=1, metavar="N",
+        help="fan independent simulation tasks across N worker processes "
+        "(0 = one per CPU core; default: 1, fully serial)")
 
 
 def main(argv=None) -> int:
@@ -88,12 +122,32 @@ def main(argv=None) -> int:
     p_run.add_argument("--full", action="store_true",
                        help="paper-scale durations (minutes of simulated time)")
     p_run.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
-    p_rep = sub.add_parser("report", help="regenerate EXPERIMENTS.md")
+    p_rep = sub.add_parser(
+        "report", help="regenerate EXPERIMENTS.md",
+        description="Regenerate the EXPERIMENTS.md reproduction ledger. "
+        "Independent simulation runs are cached on disk by content address "
+        "(calibration + parameters + seed + code fingerprint), so repeated "
+        "invocations skip already-computed runs; --jobs fans cache misses "
+        "across worker processes. The written ledger is byte-identical "
+        "whatever the jobs count or cache state.")
     p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
     p_rep.add_argument("--full", action="store_true")
     p_rep.add_argument("--seed", type=int, default=0)
+    _add_jobs_flag(p_rep)
+    p_rep.add_argument(
+        "--cache-dir", default=".repro-cache", metavar="DIR",
+        help="directory of the content-addressed result cache "
+        "(default: .repro-cache)")
+    p_rep.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache: recompute every simulation run")
+    p_rep.add_argument(
+        "--stats-json", default=None, metavar="FILE",
+        help="also write executor stats (jobs, task count, cache "
+        "hits/misses, wall seconds) to FILE as JSON")
     p_rep.set_defaults(fn=cmd_report)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,63 @@
+"""Process-pool-safe work units ("legs") for the end-to-end experiments.
+
+Figures 9-12 each build one or more complete
+:class:`~repro.core.system.EndToEndSystem` instances and run one
+transfer on each — independent simulations that only meet again at
+report-assembly time.  These module-level functions are those legs in
+:class:`~repro.exec.task.SimTask` target form: importable by name from a
+worker process, parameterised only by ``(seed, cal, **params)``, and
+returning picklable :class:`~repro.core.metrics.RunResult` values.
+
+Several figures share legs verbatim (Fig. 11's four quick-mode runs are
+Fig. 12's four, Fig. 9's GridFTP run is Fig. 10's), so the runner's
+identity dedup and the result cache both collapse them to a single
+simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.calibration import Calibration
+from repro.core.metrics import RunResult
+from repro.core.system import EndToEndSystem
+from repro.core.tuning import TuningPolicy
+
+__all__ = ["transfer_leg", "rftp_with_ceiling_leg"]
+
+
+def _testbed(seed: int, cal: Optional[Calibration], lun_size: int) -> EndToEndSystem:
+    return EndToEndSystem.lan_testbed(
+        TuningPolicy.numa_bound(), seed=seed, cal=cal, lun_size=lun_size
+    )
+
+
+def transfer_leg(*, seed: int, cal: Optional[Calibration], duration: float,
+                 lun_size: int, tool: str, mode: str = "uni") -> RunResult:
+    """One complete testbed running one transfer (Figs. 9-12)."""
+    system = _testbed(seed, cal, lun_size)
+    runners = {
+        ("rftp", "uni"): system.run_rftp_transfer,
+        ("rftp", "bidir"): system.run_rftp_bidirectional,
+        ("gridftp", "uni"): system.run_gridftp_transfer,
+        ("gridftp", "bidir"): system.run_gridftp_bidirectional,
+    }
+    try:
+        run = runners[(tool, mode)]
+    except KeyError:
+        raise ValueError(f"unknown transfer leg {tool!r}/{mode!r}") from None
+    return run(duration=duration)
+
+
+def rftp_with_ceiling_leg(*, seed: int, cal: Optional[Calibration],
+                          duration: float, lun_size: int,
+                          ceiling_runtime: float) -> Dict[str, Any]:
+    """Fig. 9's first leg: fio write-ceiling cross-check, then RFTP.
+
+    Both run on the *same* testbed (the fio pass precedes the transfer in
+    simulated time, exactly as the paper ran them), so they form one leg.
+    """
+    system = _testbed(seed, cal, lun_size)
+    ceiling = system.fio_file_write_ceiling(runtime=ceiling_runtime)
+    rftp = system.run_rftp_transfer(duration=duration)
+    return {"ceiling": ceiling, "rftp": rftp}

@@ -6,44 +6,59 @@ XFS over iSER, both applications numactl-bound.
 Paper anchors: fio puts the narrowest stage (file write) at
 **94.8 Gbps**; RFTP sustains **91 Gbps** (96% of that); GridFTP reaches
 **29 Gbps** (30%), i.e. RFTP is ≈**3x** faster.
+
+The RFTP system (with its fio ceiling cross-check) and the GridFTP
+system are independent simulations, so :func:`plan` exposes them as two
+:class:`~repro.exec.task.SimTask` legs; :func:`run` is their serial
+composition.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
-from repro.core.system import EndToEndSystem
-from repro.core.tuning import TuningPolicy
+from repro.exec import SimTask, run_tasks
 from repro.util.units import GB, to_gbps
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble"]
 
 PAPER_CEILING = 94.8
 PAPER_RFTP = 91.0
 PAPER_GRIDFTP = 29.0
 
+_LEGS = "repro.core.experiments.e2e_legs"
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+         ) -> list[SimTask]:
+    """The experiment as independent tasks (RFTP+ceiling, GridFTP)."""
     duration = 30.0 if quick else 1500.0  # paper: 25 minutes
     lun_size = 2 * GB if quick else 50 * GB
+    return [
+        SimTask(f"{_LEGS}:rftp_with_ceiling_leg",
+                {"duration": duration, "lun_size": lun_size,
+                 "ceiling_runtime": min(duration, 20.0)},
+                seed=seed, cal=cal, label="fig09/rftp+ceiling"),
+        SimTask(f"{_LEGS}:transfer_leg",
+                {"duration": duration, "lun_size": lun_size,
+                 "tool": "gridftp", "mode": "uni"},
+                seed=seed + 1, cal=cal, label="fig09/gridftp"),
+    ]
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the legs' results."""
+    rftp_leg, gridftp = results
+    ceiling = rftp_leg["ceiling"]
+    rftp = rftp_leg["rftp"]
     report = ExperimentReport(
         "fig09",
         "Fig. 9 end-to-end throughput: RFTP vs GridFTP over 3x40G + iSER SANs",
         data_headers=["tool", "Gbps", "% of effective bandwidth"],
     )
-
-    system = EndToEndSystem.lan_testbed(
-        TuningPolicy.numa_bound(), seed=seed, cal=cal, lun_size=lun_size
-    )
-    ceiling = system.fio_file_write_ceiling(runtime=min(duration, 20.0))
-    rftp = system.run_rftp_transfer(duration=duration)
-
-    system2 = EndToEndSystem.lan_testbed(
-        TuningPolicy.numa_bound(), seed=seed + 1, cal=cal, lun_size=lun_size
-    )
-    gridftp = system2.run_gridftp_transfer(duration=duration)
 
     ceiling_gbps = to_gbps(ceiling)
     report.add_row(["fio write ceiling", round(ceiling_gbps, 1), "100%"])
@@ -67,8 +82,6 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     report.add_check("RFTP/GridFTP speedup", "~3.1x", f"{ratio:.1f}x",
                      ok=2.4 < ratio < 4.0)
     if rftp.series is not None and len(rftp.series) > 4:
-        import numpy as np
-
         values = np.asarray(rftp.series.values[1:])
         cv = float(values.std() / values.mean()) if values.mean() else 1.0
         report.add_check("RFTP throughput steadiness (CV)", "flat line",
@@ -82,3 +95,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
             "GridFTP timeline: " + gridftp.series.sparkline(width=50)
         )
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -3,37 +3,47 @@
 Paper anchor: GridFTP shows high "sys" CPU (TCP stack + copies +
 interrupts), RFTP's CPU is predominantly user-space protocol work and
 far smaller per gigabit moved.
+
+The RFTP and GridFTP systems are independent simulations, exposed as
+two :class:`~repro.exec.task.SimTask` legs via :func:`plan`.
 """
 
 from __future__ import annotations
 
 from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
-from repro.core.system import EndToEndSystem
-from repro.core.tuning import TuningPolicy
+from repro.exec import SimTask, run_tasks
 from repro.util.units import GB
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble"]
+
+_LEGS = "repro.core.experiments.e2e_legs"
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+         ) -> list[SimTask]:
+    """The experiment as independent tasks (RFTP run, GridFTP run)."""
     duration = 30.0 if quick else 1500.0
     lun_size = 2 * GB if quick else 50 * GB
+    common = {"duration": duration, "lun_size": lun_size, "mode": "uni"}
+    return [
+        SimTask(f"{_LEGS}:transfer_leg", {**common, "tool": "rftp"},
+                seed=seed, cal=cal, label="fig10/rftp"),
+        SimTask(f"{_LEGS}:transfer_leg", {**common, "tool": "gridftp"},
+                seed=seed + 1, cal=cal, label="fig10/gridftp"),
+    ]
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the legs' results."""
+    rftp, gridftp = results
     report = ExperimentReport(
         "fig10",
         "Fig. 10 end-to-end CPU breakdown: RFTP vs GridFTP",
         data_headers=["tool", "side", "usr %", "sys %", "total %",
                       "CPU% per Gbps"],
     )
-
-    system = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=seed,
-                                        cal=cal, lun_size=lun_size)
-    rftp = system.run_rftp_transfer(duration=duration)
-    system2 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=seed + 1,
-                                         cal=cal, lun_size=lun_size)
-    gridftp = system2.run_gridftp_transfer(duration=duration)
 
     rows = [
         ("RFTP", "sender", rftp.sender_cpu, rftp.goodput_gbps),
@@ -59,3 +69,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     report.add_check("CPU%-per-Gbps: GridFTP vs RFTP", ">5x worse",
                      f"{grid_eff / rftp_eff:.1f}x", ok=grid_eff > 4 * rftp_eff)
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

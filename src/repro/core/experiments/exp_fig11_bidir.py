@@ -5,44 +5,61 @@ Both directions run simultaneously over the same hosts, links and SANs.
 Paper anchors: RFTP's aggregate improves **+83%** over unidirectional
 (17% short of a perfect 2x, lost to contention at hosts and targets);
 GridFTP improves only **+33%** (CPU contention).
+
+The four measured configurations (RFTP/GridFTP x uni/bidir) each build
+a fresh testbed, so :func:`plan` exposes them as four independent
+:class:`~repro.exec.task.SimTask` legs.  Fig. 12 reuses the identical
+legs — the runner's dedup and the result cache run them once.
 """
 
 from __future__ import annotations
 
 from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
-from repro.core.system import EndToEndSystem
-from repro.core.tuning import TuningPolicy
+from repro.exec import SimTask, run_tasks
 from repro.util.units import GB
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble", "bidir_plan"]
 
 PAPER_RFTP_GAIN = 1.83
 PAPER_GRIDFTP_GAIN = 1.33
 
+_LEGS = "repro.core.experiments.e2e_legs"
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+
+def bidir_plan(quick: bool, seed: int, cal: Calibration | None,
+               figure: str) -> list[SimTask]:
+    """The four uni/bidir legs shared by Figs. 11 and 12."""
     duration = 30.0 if quick else 3000.0  # paper: 50 minutes
     lun_size = 2 * GB if quick else 50 * GB
+    legs = [("rftp", "uni"), ("rftp", "bidir"),
+            ("gridftp", "uni"), ("gridftp", "bidir")]
+    return [
+        SimTask(f"{_LEGS}:transfer_leg",
+                {"duration": duration, "lun_size": lun_size,
+                 "tool": tool, "mode": mode},
+                seed=seed + offset, cal=cal,
+                label=f"{figure}/{tool}-{mode}")
+        for offset, (tool, mode) in enumerate(legs)
+    ]
+
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+         ) -> list[SimTask]:
+    """The experiment as four independent transfer tasks."""
+    return bidir_plan(quick, seed, cal, "fig11")
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the legs' results."""
+    rftp_uni, rftp_bi, grid_uni, grid_bi = results
     report = ExperimentReport(
         "fig11",
         "Fig. 11 bi-directional end-to-end throughput",
         data_headers=["tool", "unidirectional Gbps", "bidirectional Gbps",
                       "gain"],
     )
-
-    def fresh(offset):
-        return EndToEndSystem.lan_testbed(
-            TuningPolicy.numa_bound(), seed=seed + offset, cal=cal,
-            lun_size=lun_size,
-        )
-
-    rftp_uni = fresh(0).run_rftp_transfer(duration=duration)
-    rftp_bi = fresh(1).run_rftp_bidirectional(duration=duration)
-    grid_uni = fresh(2).run_gridftp_transfer(duration=duration)
-    grid_bi = fresh(3).run_gridftp_bidirectional(duration=duration)
 
     rftp_gain = rftp_bi.goodput / rftp_uni.goodput
     grid_gain = grid_bi.goodput / grid_uni.goodput
@@ -62,3 +79,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
                      f"{(2.0 - rftp_gain) / 2.0:.0%} less",
                      ok=rftp_gain < 2.0)
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

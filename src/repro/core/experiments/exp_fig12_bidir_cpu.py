@@ -3,40 +3,37 @@
 Paper anchor: GridFTP's bi-directional CPU roughly doubles while its
 throughput gains only 33% — CPU contention is what caps it; RFTP's CPU
 stays modest per gigabit.
+
+Runs the same four legs as Fig. 11 (identical tasks — the runner dedups
+them within one report run, and the result cache across runs) but reads
+the CPU ledgers instead of the throughput gains.
 """
 
 from __future__ import annotations
 
 from repro.core.calibration import Calibration
+from repro.core.experiments.exp_fig11_bidir import bidir_plan
 from repro.core.report import ExperimentReport
-from repro.core.system import EndToEndSystem
-from repro.core.tuning import TuningPolicy
-from repro.util.units import GB
+from repro.exec import SimTask, run_tasks
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble"]
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
-    duration = 30.0 if quick else 3000.0
-    lun_size = 2 * GB if quick else 50 * GB
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+         ) -> list[SimTask]:
+    """The experiment as four independent transfer tasks (= Fig. 11's)."""
+    return bidir_plan(quick, seed, cal, "fig12")
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the legs' results."""
+    rftp_uni, rftp_bi, grid_uni, grid_bi = results
     report = ExperimentReport(
         "fig12",
         "Fig. 12 bi-directional CPU breakdown: RFTP vs GridFTP",
         data_headers=["tool", "mode", "Gbps", "usr %", "sys %", "total %"],
     )
-
-    def fresh(offset):
-        return EndToEndSystem.lan_testbed(
-            TuningPolicy.numa_bound(), seed=seed + offset, cal=cal,
-            lun_size=lun_size,
-        )
-
-    rftp_uni = fresh(0).run_rftp_transfer(duration=duration)
-    rftp_bi = fresh(1).run_rftp_bidirectional(duration=duration)
-    grid_uni = fresh(2).run_gridftp_transfer(duration=duration)
-    grid_bi = fresh(3).run_gridftp_bidirectional(duration=duration)
 
     for tool, mode, res in (
         ("RFTP", "uni", rftp_uni),
@@ -72,3 +69,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
                      f"{rftp_cpu_bi / rftp_cpu_uni:.2f}x",
                      ok=rftp_cpu_bi > rftp_cpu_uni)
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -17,11 +17,17 @@ inputs, not that the shape is tuned-in.
 
 from __future__ import annotations
 
-from repro.core.calibration import Calibration
+from repro.core.calibration import CALIBRATION, Calibration
 from repro.core.report import ExperimentReport
-from repro.core.sensitivity import PERTURBED_CONSTANTS, SHAPES, run_sensitivity
+from repro.core.sensitivity import (
+    PERTURBED_CONSTANTS,
+    SHAPES,
+    assemble_sensitivity,
+    sensitivity_tasks,
+)
+from repro.exec import SimTask, run_tasks
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble"]
 
 #: fragilities that are understood and documented (see module docstring).
 KNOWN_EXCEPTIONS = {
@@ -29,12 +35,23 @@ KNOWN_EXCEPTIONS = {
 }
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
-    constants = PERTURBED_CONSTANTS if not quick else PERTURBED_CONSTANTS[:4] + (
+def _constants(quick: bool):
+    return PERTURBED_CONSTANTS if not quick else PERTURBED_CONSTANTS[:4] + (
         "rdma_read_throughput_derate",)
-    result = run_sensitivity(constants=constants)
+
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> list[SimTask]:
+    """The perturbation grid as independent tasks (one per cell)."""
+    return sensitivity_tasks(constants=_constants(quick),
+                             base=cal if cal is not None else CALIBRATION)
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the grid cells' results."""
+    result = assemble_sensitivity(plan(quick=quick, seed=seed, cal=cal),
+                                  results)
     report = ExperimentReport(
         "ext-sensitivity",
         "E2 (extension): shape robustness under +/-20% calibration shifts",
@@ -69,3 +86,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
             "gap, so this perturbation is outside its plausible range."
         )
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -18,13 +18,15 @@ reproduction is an artifact of tuning rather than mechanism.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.calibration import CALIBRATION, Calibration
+from repro.exec import SimTask, run_tasks
 from repro.util.tables import Table
 
 __all__ = ["SHAPES", "PERTURBED_CONSTANTS", "SensitivityResult",
-           "run_sensitivity"]
+           "run_sensitivity", "sensitivity_cell", "sensitivity_tasks",
+           "assemble_sensitivity"]
 
 #: the constants whose values were calibrated (not taken from specs).
 PERTURBED_CONSTANTS = (
@@ -179,18 +181,68 @@ class SensitivityResult:
         return t.render()
 
 
+def _direction_labels(delta: float) -> Tuple[str, str]:
+    pct = f"{delta:.0%}"
+    return (f"-{pct}", f"+{pct}")
+
+
+def sensitivity_cell(*, seed: int = 0, cal: Optional[Calibration] = None,
+                     constant: str, direction: str,
+                     delta: float = 0.20) -> Dict[str, bool]:
+    """One grid cell: perturb *constant* by ±*delta*, test every shape.
+
+    This is the :class:`~repro.exec.task.SimTask` target for the
+    sensitivity sweep: every cell is an independent simulation batch
+    (the shape predicates create their own seeded contexts), so the
+    grid fans out across worker processes.  ``cal`` is the *base*
+    calibration the perturbation applies to (None = library default);
+    ``seed`` is accepted for target-signature uniformity but unused —
+    the predicates pin their own seeds so cells stay comparable.
+    """
+    base = cal if cal is not None else CALIBRATION
+    value = getattr(base, constant)
+    factor = (1 - delta) if direction.startswith("-") else (1 + delta)
+    perturbed = base.replace(**{constant: value * factor})
+    return {name: predicate(perturbed) for name, predicate in SHAPES.items()}
+
+
+def sensitivity_tasks(
+    delta: float = 0.20,
+    constants: Sequence[str] = PERTURBED_CONSTANTS,
+    base: Calibration = CALIBRATION,
+) -> List[SimTask]:
+    """The ±delta perturbation grid as independent tasks, in grid order."""
+    cal = None if base is CALIBRATION else base
+    return [
+        SimTask("repro.core.sensitivity:sensitivity_cell",
+                {"constant": const, "direction": direction, "delta": delta},
+                seed=0, cal=cal, label=f"sensitivity/{const}{direction}")
+        for const in constants
+        for direction in _direction_labels(delta)
+    ]
+
+
+def assemble_sensitivity(tasks: Sequence[SimTask],
+                         rows: Sequence[Dict[str, bool]]) -> SensitivityResult:
+    """Fold per-cell results (aligned with *tasks*) into one grid."""
+    result = SensitivityResult()
+    for task, row in zip(tasks, rows):
+        key = (task.params["constant"], task.params["direction"])
+        result.outcomes[key] = dict(row)
+    return result
+
+
 def run_sensitivity(
     delta: float = 0.20,
-    constants=PERTURBED_CONSTANTS,
+    constants: Sequence[str] = PERTURBED_CONSTANTS,
     base: Calibration = CALIBRATION,
 ) -> SensitivityResult:
-    """Perturb each constant by ±delta and re-test every shape."""
-    result = SensitivityResult()
-    for const in constants:
-        value = getattr(base, const)
-        for direction, factor in (("-20%", 1 - delta), ("+20%", 1 + delta)):
-            cal = base.replace(**{const: value * factor})
-            result.outcomes[(const, direction)] = {
-                name: predicate(cal) for name, predicate in SHAPES.items()
-            }
-    return result
+    """Perturb each constant by ±delta and re-test every shape.
+
+    Cells run through :func:`~repro.exec.runner.run_tasks`, so the grid
+    parallelizes (and caches) under an ambient
+    :class:`~repro.exec.runner.ExecContext` while staying serial — and
+    bit-for-bit identical — by default.
+    """
+    tasks = sensitivity_tasks(delta=delta, constants=constants, base=base)
+    return assemble_sensitivity(tasks, run_tasks(tasks))

@@ -1,0 +1,32 @@
+"""Parallel experiment execution with a content-addressed result cache.
+
+The reproduction harness decomposes every figure, ablation and
+sensitivity sweep into independent :class:`~repro.exec.task.SimTask`
+units (one simulation run each).  :func:`~repro.exec.runner.run_tasks`
+executes a batch — serial by default, fanned across a process pool with
+``jobs > 1`` — and always merges results back in task order, so serial,
+parallel and cache-served runs produce byte-identical reports.
+
+Results are cached on disk by content address: a SHA-256 over the
+task's target, parameters, seed, every
+:class:`~repro.core.calibration.Calibration` field, and a fingerprint of
+the library's own source.  See ``README.md`` ("Parallel runner & result
+cache") and ``docs/MODELING.md`` (seed discipline) for the invariants
+that make this safe.
+"""
+
+from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.fingerprint import code_fingerprint
+from repro.exec.runner import ExecContext, executor, get_exec_context, run_tasks
+from repro.exec.task import SimTask
+
+__all__ = [
+    "CacheStats",
+    "ExecContext",
+    "ResultCache",
+    "SimTask",
+    "code_fingerprint",
+    "executor",
+    "get_exec_context",
+    "run_tasks",
+]

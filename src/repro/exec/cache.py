@@ -1,0 +1,124 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Each entry is one pickled ``{"key": ..., "result": ...}`` mapping stored
+at ``<dir>/<key[:2]>/<key>.pkl``, where ``key`` is the SHA-256 of the
+task's identity (target, params, seed, calibration) plus the
+:func:`~repro.exec.fingerprint.code_fingerprint` of the library.  A key
+therefore changes — and the old entry is simply never looked up again —
+whenever any calibration field, parameter, seed, or line of library
+source changes.
+
+Corrupt, truncated or mismatched entries are treated as misses: the
+offending file is deleted and the task recomputed.  Writes go through a
+temporary file and :func:`os.replace`, so concurrent writers (parallel
+benchmark shards, two CI jobs on one runner) can only ever publish a
+complete entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exec.fingerprint import code_fingerprint
+from repro.exec.task import SimTask
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store/discard counters for one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    #: entries found corrupt/mismatched and deleted (each also counts a miss).
+    discarded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (for report footers and JSON artifacts)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "discarded": self.discarded,
+        }
+
+    def __str__(self) -> str:
+        out = f"{self.hits} hits / {self.misses} misses"
+        if self.discarded:
+            out += f" ({self.discarded} discarded)"
+        return out
+
+
+class ResultCache:
+    """Content-addressed pickle store for :class:`SimTask` results."""
+
+    def __init__(self, cache_dir: os.PathLike | str,
+                 fingerprint: Optional[str] = None):
+        self.dir = pathlib.Path(cache_dir)
+        self.fingerprint = fingerprint if fingerprint is not None else code_fingerprint()
+        self.stats = CacheStats()
+
+    def key_for(self, task: SimTask) -> str:
+        """The task's content address under this cache's code fingerprint."""
+        return task.cache_key(self.fingerprint)
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.dir / key[:2] / f"{key}.pkl"
+
+    def get(self, task: SimTask) -> Tuple[bool, Any]:
+        """``(True, result)`` on a hit, ``(False, None)`` on a miss."""
+        key = self.key_for(task)
+        path = self._path(key)
+        try:
+            with path.open("rb") as fh:
+                entry = pickle.load(fh)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("cache entry key mismatch")
+            result = entry["result"]
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:
+            # Truncated pickle, foreign bytes, stale schema: drop and recompute.
+            self.stats.discarded += 1
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+        self.stats.hits += 1
+        return True, result
+
+    def put(self, task: SimTask, result: Any) -> None:
+        """Store *result*; I/O failures are swallowed (cache is best-effort)."""
+        key = self.key_for(task)
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump({"key": key, "result": result}, fh,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        self.stats.stores += 1
+
+    def __repr__(self) -> str:
+        return (f"<ResultCache dir={str(self.dir)!r} "
+                f"fingerprint={self.fingerprint} {self.stats}>")

@@ -1,0 +1,46 @@
+"""Code fingerprint: one hash over the library's own source tree.
+
+Cached simulation results are only valid for the exact code that
+produced them.  Rather than tracking fine-grained dependencies, the
+cache key folds in a single fingerprint of every ``.py`` file under the
+``repro`` package — any source edit (a calibration comment excepted, but
+comments travel with their file) invalidates the whole cache.  That is
+deliberately coarse: recomputing a few seconds of simulation is cheap,
+serving a stale result is not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+from functools import lru_cache
+from typing import Optional
+
+__all__ = ["code_fingerprint"]
+
+
+def _package_root() -> pathlib.Path:
+    import repro
+
+    return pathlib.Path(repro.__file__).resolve().parent
+
+
+@lru_cache(maxsize=None)
+def _fingerprint_of(root: pathlib.Path) -> str:
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        digest.update(str(path.relative_to(root)).encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()[:16]
+
+
+def code_fingerprint(root: Optional[pathlib.Path] = None) -> str:
+    """Hex digest over every ``.py`` file under *root* (default: ``repro``).
+
+    Memoized per path: the tree is hashed once per process, which is
+    safe because a process whose source changed under it is already
+    undefined behaviour for Python.
+    """
+    return _fingerprint_of(pathlib.Path(root) if root else _package_root())
