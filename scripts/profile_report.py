@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Profile the report pipeline (or one experiment) with cProfile.
+
+Future perf PRs should start from data, not guesses: this script runs
+the same code path as ``python -m repro report`` (or ``run <name>``)
+under :mod:`cProfile` and prints the top-N functions by cumulative time,
+plus the top-N by total (self) time — the first tells you *which layer*
+is slow, the second *which function* burns the cycles.  Usage::
+
+    PYTHONPATH=src python scripts/profile_report.py            # whole report
+    PYTHONPATH=src python scripts/profile_report.py fig09      # one experiment
+    PYTHONPATH=src python scripts/profile_report.py fig09 -n 40
+    PYTHONPATH=src python scripts/profile_report.py --full     # paper-scale
+    PYTHONPATH=src python scripts/profile_report.py -o prof.out  # for snakeviz
+
+``python -m repro report --profile [N]`` is the in-CLI shortcut for the
+no-argument form.  Profiling is always serial and cache-free — worker
+processes and cache hits would hide the simulation cost being measured.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cProfile the EXPERIMENTS.md pipeline or one experiment")
+    parser.add_argument(
+        "experiment", nargs="?", default=None,
+        help="experiment name (see 'python -m repro list'); "
+        "default: the full report pipeline")
+    parser.add_argument("-n", "--top", type=int, default=30, metavar="N",
+                        help="rows to print per table (default: 30)")
+    parser.add_argument("--full", action="store_true",
+                        help="paper-scale durations instead of quick mode")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("-o", "--output", default=None, metavar="FILE",
+                        help="also dump raw pstats data to FILE "
+                        "(inspect with snakeviz or pstats)")
+    args = parser.parse_args(argv)
+
+    if args.experiment is None:
+        from repro.core.reportgen import generate_experiments_md
+
+        def target():
+            generate_experiments_md(quick=not args.full, seed=args.seed)
+    else:
+        from repro.core import experiments as E
+
+        mods = dict(E.ALL_FIGURES)
+        mods.update({f"ablation-{k}": v for k, v in E.ALL_ABLATIONS.items()})
+        mods.update({f"ext-{k}": v for k, v in E.ALL_EXTENSIONS.items()})
+        if args.experiment not in mods:
+            print(f"unknown experiment: {args.experiment}", file=sys.stderr)
+            print(f"available: {', '.join(mods)}", file=sys.stderr)
+            return 2
+        module = mods[args.experiment]
+
+        def target():
+            module.run(quick=not args.full, seed=args.seed)
+
+    prof = cProfile.Profile()
+    prof.runcall(target)
+
+    if args.output:
+        prof.dump_stats(args.output)
+        print(f"raw profile written to {args.output}\n")
+
+    for sort_key, title in (("cumulative", "cumulative time"),
+                            ("tottime", "self time")):
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.sort_stats(sort_key).print_stats(args.top)
+        print(f"=== top {args.top} by {title} ===")
+        print(buf.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

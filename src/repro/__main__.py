@@ -75,9 +75,16 @@ def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats: dict = {}
-    text = generate_experiments_md(quick=not args.full, seed=args.seed,
-                                   verbose=True, jobs=args.jobs, cache=cache,
-                                   stats=stats)
+
+    def _generate() -> str:
+        return generate_experiments_md(quick=not args.full, seed=args.seed,
+                                       verbose=True, jobs=args.jobs,
+                                       cache=cache, stats=stats)
+
+    if args.profile is None:
+        text = _generate()
+    else:
+        text = _profiled(_generate, top=args.profile)
     with open(args.output, "w") as fh:
         fh.write(text)
     print(f"wrote {args.output}")
@@ -91,11 +98,30 @@ def cmd_report(args) -> int:
     print(f"[report] jobs={stats['jobs']}  tasks={stats['tasks']} "
           f"(executed {stats['executed']})  {cache_note}  "
           f"wall={stats['wall_seconds']:.2f}s")
+    fluid = stats.get("fluid")
+    if fluid is not None:
+        print(f"[fluid] solver={fluid['solver']}  "
+              f"rebalances={fluid['rebalances']}  "
+              f"allocations={fluid['allocations']}  "
+              f"recomputed={fluid['flows_recomputed']}  "
+              f"skipped={fluid['flows_skipped']}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
             fh.write("\n")
     return 0
+
+
+def _profiled(fn, top: int):
+    """Run *fn* under cProfile, dump the top-N cumulative rows to stderr."""
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    result = prof.runcall(fn)
+    stats = pstats.Stats(prof, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(top)
+    return result
 
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
@@ -144,6 +170,10 @@ def main(argv=None) -> int:
     p_rep.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache: recompute every simulation run")
+    p_rep.add_argument(
+        "--profile", type=int, nargs="?", const=30, default=None, metavar="N",
+        help="run under cProfile and print the top N functions by "
+        "cumulative time to stderr (default N: 30)")
     p_rep.add_argument(
         "--stats-json", default=None, metavar="FILE",
         help="also write executor stats (jobs, task count, cache "

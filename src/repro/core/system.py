@@ -122,6 +122,17 @@ class EndToEndSystem:
                 out.append(XfsFileSystem(self.ctx, dev, cache_bytes=1 << 20))
         return out
 
+    # -- introspection -----------------------------------------------------------
+    def solver_stats(self) -> dict:
+        """Fluid-solver identity and counters for this system's scheduler.
+
+        Console-footer material (``python -m repro report``), never part
+        of the EXPERIMENTS.md ledger: counters depend on event interleaving
+        and solver dispatch, not on the modeled physics.
+        """
+        fluid = self.ctx.fluid
+        return {"solver": fluid.solver, **fluid.stats.as_dict()}
+
     # -- workloads ---------------------------------------------------------------
     def fio_file_write_ceiling(self, block_size: int = 4 * MIB,
                                runtime: float = 30.0) -> float:
@@ -232,8 +243,7 @@ class EndToEndSystem:
 
             acc = CpuAccounting(name)
             for t in threads:
-                for k, v in t.accounting.seconds_by_category().items():
-                    acc.add(k, v)
+                acc.add_many(t.accounting.seconds_by_category())
             return acc
 
         snd_acc = ledger(ab._send_threads + ba._send_threads, "snd")

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SimTask"]
 
 #: Bump when the on-disk cache entry layout changes (invalidates all keys).
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 
 def _canonical(obj: Any) -> Any:
@@ -88,13 +88,23 @@ class SimTask:
 
     # -- identity ----------------------------------------------------------------
     def identity(self) -> str:
-        """Canonical JSON of everything the result depends on (except code)."""
+        """Canonical JSON of everything the result depends on (except code).
+
+        The active fluid-solver backend is part of the identity: both
+        backends are held to the same observables (and the ledger is
+        byte-identical today), but a cache entry must never outlive the
+        question of *which* kernel produced it — switching
+        ``REPRO_FLUID_SOLVER`` recomputes rather than replays.
+        """
+        from repro.sim.fluid import default_solver
+
         return json.dumps(
             {
                 "target": self.target,
                 "params": _canonical(self.params),
                 "seed": self.seed,
                 "cal": _canonical(self.cal),
+                "solver": default_solver(),
                 "v": CACHE_FORMAT_VERSION,
             },
             sort_keys=True,

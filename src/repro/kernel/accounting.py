@@ -12,7 +12,9 @@ measurement window.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable
+from typing import Dict, Iterable, Mapping, Sequence
+
+import numpy as np
 
 __all__ = ["CpuAccount", "CpuAccounting", "CATEGORIES"]
 
@@ -42,6 +44,23 @@ class CpuAccount:
             raise ValueError(f"negative charge on {self.name!r}: {amount}")
         self.seconds += amount
 
+    def add_many(self, amounts: Sequence[float]) -> None:
+        """Accumulate a batch of amounts in one call (array sink).
+
+        The batch is summed with :func:`numpy.sum` before the single
+        accumulate, so array-producing callers (the vectorized fluid
+        settle, report assembly) pay one validation and one attribute
+        store per batch instead of one per element.
+        """
+        arr = np.asarray(amounts, dtype=float)
+        if arr.size == 0:
+            return
+        if arr.min() < 0:
+            raise ValueError(
+                f"negative charge on {self.name!r}: {float(arr.min())}"
+            )
+        self.seconds += float(arr.sum())
+
 
 class CpuAccounting:
     """Per-entity (thread/process/host) CPU time ledger."""
@@ -63,6 +82,15 @@ class CpuAccounting:
     def add(self, category: str, seconds: float) -> None:
         """Directly add CPU seconds to a category."""
         self.account(category).add(seconds)
+
+    def add_many(self, seconds_by_category: Mapping[str, float]) -> None:
+        """Add CPU seconds to several categories in one call.
+
+        Equivalent to calling :meth:`add` per item; used by report
+        assembly to merge a whole per-task ledger at once.
+        """
+        for category, seconds in seconds_by_category.items():
+            self.account(category).add(seconds)
 
     # -- totals ----------------------------------------------------------------
     @property

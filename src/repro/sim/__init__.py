@@ -28,7 +28,14 @@ from repro.sim.engine import (
     Simulator,
     Timeout,
 )
-from repro.sim.fluid import FluidFlow, FluidResource, FluidScheduler, FluidStats
+from repro.sim.fluid import (
+    SOLVERS,
+    FluidFlow,
+    FluidResource,
+    FluidScheduler,
+    FluidStats,
+    default_solver,
+)
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RngRegistry
 from repro.sim.trace import EventRateProbe, ThroughputProbe, TimeSeries, TraceLog
@@ -51,6 +58,8 @@ __all__ = [
     "FluidFlow",
     "FluidScheduler",
     "FluidStats",
+    "SOLVERS",
+    "default_solver",
     "RngRegistry",
     "TimeSeries",
     "ThroughputProbe",

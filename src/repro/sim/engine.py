@@ -375,8 +375,9 @@ class Simulator:
         return self._now
 
     # -- scheduling -----------------------------------------------------------
-    def _push(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        event._time = self._now + delay
+    def _push(self, event: Event, priority: int, delay: float = 0.0,
+              at: Optional[float] = None) -> None:
+        event._time = self._now + delay if at is None else at
         event._prio = priority
         self._seq = seq = self._seq + 1
         event._seq = seq
@@ -412,6 +413,32 @@ class Simulator:
             self._push(tm, NORMAL, delay=delay)
             return tm
         return Timeout(self, delay, value)
+
+    def timeout_at(self, at: float, value: Any = None) -> Timeout:
+        """An event firing at absolute simulated time *at* (>= now).
+
+        Equivalent to ``timeout(at - now)`` except the deadline is used
+        verbatim — no ``now + (at - now)`` round trip — so callers that
+        computed an absolute completion time keep it to the last bit.
+        """
+        if at < self._now:
+            raise SimulationError(f"timeout_at({at}) is before now={self._now}")
+        pool = self._timeout_pool
+        if pool:
+            tm = pool.pop()
+            tm._ok = True
+            tm._value = value
+            tm._processed = False
+            tm.callbacks = None
+            tm.name = ""
+            self.stats.timeouts_reused += 1
+        else:
+            tm = Timeout.__new__(Timeout)
+            Event.__init__(tm, self)
+            tm._ok = True
+            tm._value = value
+        self._push(tm, NORMAL, at=at)
+        return tm
 
     def process(self, gen: Generator[Event, Any, Any], name: str = "") -> Process:
         """Start a process driving *gen*; returns its completion event."""

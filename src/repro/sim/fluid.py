@@ -27,18 +27,75 @@ Flows may carry *charges*: ``(account, cost_per_byte)`` pairs debited as
 bytes progress.  The kernel layer uses this to account CPU seconds per
 byte of protocol processing, reproducing the paper's getrusage/perf
 measurements (Fig. 4, 8, 10, 12, 14).
+
+Two solver backends implement the same allocation (selected per scheduler
+via the ``solver=`` argument, defaulting to ``REPRO_FLUID_SOLVER``):
+
+``array`` (default)
+    Flow state lives in flat numpy arrays (rate, cap, size, transferred,
+    indexed by a per-scheduler *slot*); each flow's resource incidence is
+    cached as index/weight arrays, assembled per affected component into
+    a CSR-like (entry-list) structure, and progressive filling runs as a
+    vectorized water-filling loop over boolean freeze masks.  ``settle``
+    is one fused ``transferred += rate·dt`` update plus a sparse
+    matrix-vector product over the charge incidence, and next-completion
+    selection is an ``argmin`` over ``remaining / rate``.
+``python``
+    The scalar reference implementation (dicts of objects).  Kept fully
+    functional for differential testing (`tests/test_fluid_equivalence`)
+    and as the baseline of ``benchmarks/bench_fluid_solver.py``.
+
+Both backends share the incremental dirty-set machinery: only the
+connected components of the flow/resource sharing graph touched by a
+change are recomputed, and :class:`FluidStats` counts exactly the same
+events whichever backend runs.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Any, Iterable, Optional, Protocol, Sequence
+import os
+from typing import Any, Iterable, List, Optional, Protocol, Sequence
+
+import numpy as np
 
 from repro.sim.engine import Event, SimulationError, Simulator
 
-__all__ = ["FluidResource", "FluidFlow", "FluidScheduler", "FluidStats", "ChargeAccount"]
+__all__ = [
+    "FluidResource",
+    "FluidFlow",
+    "FluidScheduler",
+    "FluidStats",
+    "ChargeAccount",
+    "SOLVERS",
+    "default_solver",
+]
 
 _EPS = 1e-9
+
+#: Recognized allocator backends.
+SOLVERS = ("array", "python")
+
+#: Components smaller than this run the scalar filling loop even under the
+#: array solver: per-call numpy dispatch overhead (~µs) beats dict walks
+#: only once a component has enough flows to amortize it.
+_VECTOR_MIN_FLOWS = 16
+
+#: Compact the charge-incidence pool once dead entries outnumber live ones
+#: (and the pool is big enough for compaction to matter).
+_CHARGE_COMPACT_MIN = 128
+
+
+def default_solver() -> str:
+    """The backend named by ``REPRO_FLUID_SOLVER`` (default: ``array``)."""
+    kind = os.environ.get("REPRO_FLUID_SOLVER", "").strip().lower()
+    if not kind:
+        return "array"
+    if kind not in SOLVERS:
+        raise ValueError(
+            f"REPRO_FLUID_SOLVER must be one of {SOLVERS}, got {kind!r}"
+        )
+    return kind
 
 
 class FluidStats:
@@ -49,15 +106,36 @@ class FluidStats:
     pending), ``flows_recomputed`` the flows touched by progressive
     filling, and ``flows_skipped`` the active flows whose cached rates
     were provably unaffected and therefore reused.
+
+    The class attributes with the same names aggregate across **all**
+    schedulers ever created in this process (like
+    :attr:`Simulator.events_processed_total`) so report footers can show
+    allocator telemetry without a handle on every scheduler.
     """
 
     __slots__ = ("rebalances", "allocations", "flows_recomputed", "flows_skipped")
+
+    #: Process-global totals across all schedulers (class-level).
+    total_rebalances = 0
+    total_allocations = 0
+    total_flows_recomputed = 0
+    total_flows_skipped = 0
 
     def __init__(self) -> None:
         self.rebalances = 0
         self.allocations = 0
         self.flows_recomputed = 0
         self.flows_skipped = 0
+
+    @classmethod
+    def process_totals(cls) -> dict[str, int]:
+        """The process-global counters as a plain dict."""
+        return {
+            "rebalances": cls.total_rebalances,
+            "allocations": cls.total_allocations,
+            "flows_recomputed": cls.total_flows_recomputed,
+            "flows_skipped": cls.total_flows_skipped,
+        }
 
     def as_dict(self) -> dict[str, int]:
         """The counters as a plain dict (for reports and JSON)."""
@@ -98,6 +176,8 @@ class FluidResource:
         self.scheduler = scheduler
         self.name = name
         self._capacity = float(capacity)
+        self._idx = len(scheduler._resources)
+        self._visit = 0
         scheduler._resources.append(self)
 
     @property
@@ -111,10 +191,17 @@ class FluidResource:
             raise ValueError(f"capacity must be >= 0, got {capacity}")
         if capacity == self._capacity:
             return
-        self.scheduler.settle()
+        scheduler = self.scheduler
+        if not scheduler._users.get(self):
+            # Idle resource: no active flow can see the change, so skip
+            # the full settle + rebalance (SSD throttle ticks and link
+            # renegotiations before any transfer starts hit this path).
+            self._capacity = float(capacity)
+            return
+        scheduler.settle()
         self._capacity = float(capacity)
-        self.scheduler._dirty[self] = None
-        self.scheduler._rebalance()
+        scheduler._dirty[self] = None
+        scheduler._rebalance()
 
     @property
     def load(self) -> float:
@@ -160,11 +247,21 @@ class FluidFlow:
         "charges",
         "_weights",
         "rate",
-        "transferred",
+        "_transferred",
         "done",
         "_active",
         "started_at",
         "finished_at",
+        # array-solver state: slot index + owning scheduler while active,
+        # cached incidence row (resource ids / weights), charge-pool range
+        "_slot",
+        "_sched",
+        "_res_ids",
+        "_res_ws",
+        "_c_start",
+        "_c_n",
+        # dirty-closure BFS visit stamp (see FluidScheduler._affected)
+        "_visit",
     )
 
     def __init__(
@@ -196,11 +293,37 @@ class FluidFlow:
         self.charges = tuple(charges)
         self._weights = weights
         self.rate = 0.0
-        self.transferred = 0.0
+        self._transferred = 0.0
         self.done: Optional[Event] = None
         self._active = False
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
+        self._slot = -1
+        self._sched: Optional["FluidScheduler"] = None
+        self._res_ids: Optional[np.ndarray] = None
+        self._res_ws: Optional[np.ndarray] = None
+        self._c_start = 0
+        self._c_n = 0
+        self._visit = 0
+
+    @property
+    def transferred(self) -> float:
+        """Bytes delivered so far (settled progress).
+
+        While the flow is active under the array solver the authoritative
+        count lives in the scheduler's slot array; otherwise in the
+        flow's own scalar.
+        """
+        if self._slot >= 0:
+            return float(self._sched._f_transferred[self._slot])
+        return self._transferred
+
+    @transferred.setter
+    def transferred(self, value: float) -> None:
+        if self._slot >= 0:
+            self._sched._f_transferred[self._slot] = value
+        else:
+            self._transferred = value
 
     @property
     def remaining(self) -> Optional[float]:
@@ -217,10 +340,21 @@ class FluidFlow:
 
 
 class FluidScheduler:
-    """Allocates rates to active flows and schedules their completions."""
+    """Allocates rates to active flows and schedules their completions.
 
-    def __init__(self, sim: Simulator):
+    ``solver`` picks the allocator backend (``"array"`` or ``"python"``);
+    ``None`` defers to :func:`default_solver` (the ``REPRO_FLUID_SOLVER``
+    environment variable, defaulting to the array backend).
+    """
+
+    def __init__(self, sim: Simulator, solver: Optional[str] = None):
+        if solver is None:
+            solver = default_solver()
+        if solver not in SOLVERS:
+            raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
         self.sim = sim
+        self.solver = solver
+        self._array = solver == "array"
         self._resources: list[FluidResource] = []
         self._active: list[FluidFlow] = []
         self._last_settle = sim.now
@@ -233,7 +367,47 @@ class FluidScheduler:
         self._dirty: dict[FluidResource, None] = {}
         self._dirty_flows: dict[FluidFlow, None] = {}
         self._load: dict[FluidResource, float] = {}
+        self._visit_epoch = 0
         self.stats = FluidStats()
+        if self._array:
+            # Slot arrays (doubled on demand).  ``_hw`` is the high-water
+            # slot count: every vector op runs over ``[:_hw]`` and freed
+            # slots stay inert because their rate is 0 and size is inf.
+            n = 16
+            self._f_rate = np.zeros(n)
+            self._f_cap = np.full(n, np.inf)
+            self._f_size = np.full(n, np.inf)
+            self._f_transferred = np.zeros(n)
+            self._slot_flow: List[Optional[FluidFlow]] = [None] * n
+            self._free_slots: list[int] = list(range(n - 1, -1, -1))
+            self._hw = 0
+            # Charge incidence pool (CSR data: account row, flow-slot col,
+            # cost-per-byte value).  Appended on start; a stopping flow's
+            # entries are zeroed in place (dead), and the pool is rebuilt
+            # from the live flows once dead entries dominate.
+            self._c_slot = np.zeros(n, dtype=np.intp)
+            self._c_acct = np.zeros(n, dtype=np.intp)
+            self._c_cost = np.zeros(n)
+            self._c_len = 0
+            self._c_dead = 0
+            self._accounts: list[Any] = []
+            self._acct_index: dict[int, int] = {}
+            # Resource incidence pool (CSR data: flow-slot row, global
+            # resource col, weight value) covering every active flow.
+            # Appended on start; a stopping flow's entries are tombstoned
+            # (slot -1) and the pool is mask-compacted once a whole-graph
+            # allocation needs it or dead entries dominate.
+            self._e_res = np.zeros(n, dtype=np.intp)
+            self._e_w = np.zeros(n)
+            self._e_slot = np.zeros(n, dtype=np.intp)
+            self._e_used = 0
+            self._e_dead = 0
+            # Scratch map global-resource-id -> component-local id.
+            self._res_scratch = np.zeros(0, dtype=np.intp)
+            # Scratch map flow-slot -> component-local id.
+            self._flow_scratch = np.zeros(n, dtype=np.intp)
+            # Scratch for the per-round residual/wsum division.
+            self._div = np.empty(16)
 
     # -- public API ------------------------------------------------------------
     def start(self, flow: FluidFlow) -> Event:
@@ -252,6 +426,8 @@ class FluidScheduler:
             self._users.setdefault(r, {})[flow] = None
             self._dirty[r] = None
         self._dirty_flows[flow] = None
+        if self._array:
+            self._bind_slot(flow)
         self._rebalance()
         return flow.done
 
@@ -275,6 +451,8 @@ class FluidScheduler:
         self.settle()
         flow.cap = cap
         if flow._active:
+            if flow._slot >= 0:
+                self._f_cap[flow._slot] = np.inf if cap is None else cap
             for r in flow._weights:
                 self._dirty[r] = None
             self._dirty_flows[flow] = None
@@ -287,21 +465,10 @@ class FluidScheduler:
         if elapsed <= 0:
             self._last_settle = now
             return
-        for flow in self._active:
-            rate = flow.rate
-            if rate <= 0:
-                continue
-            delta = rate * elapsed
-            size = flow.size
-            if size is not None:
-                remaining = size - flow.transferred
-                if delta > remaining:
-                    delta = remaining
-            if delta <= 0:
-                continue
-            flow.transferred += delta
-            for account, per_byte in flow.charges:
-                account.add(delta * per_byte)
+        if self._array:
+            self._settle_array(elapsed)
+        else:
+            self._settle_python(elapsed)
         self._last_settle = now
 
     @property
@@ -309,10 +476,235 @@ class FluidScheduler:
         """Snapshot of the currently active flows."""
         return tuple(self._active)
 
+    # -- settle backends -------------------------------------------------------
+    def _settle_python(self, elapsed: float) -> None:
+        # Reference settle.  Invariants are hoisted out of the loop: the
+        # clock is read once (by settle()), per-flow attribute loads
+        # happen exactly once, and the charge loop is skipped outright
+        # for the (common) uncharged flows.
+        for flow in self._active:
+            rate = flow.rate
+            if rate <= 0:
+                continue
+            delta = rate * elapsed
+            size = flow.size
+            if size is not None:
+                remaining = size - flow._transferred
+                if delta > remaining:
+                    delta = remaining
+            if delta <= 0:
+                continue
+            flow._transferred += delta
+            charges = flow.charges
+            if charges:
+                for account, per_byte in charges:
+                    account.add(delta * per_byte)
+
+    def _settle_array(self, elapsed: float) -> None:
+        hw = self._hw
+        if not hw:
+            return
+        active = self._active
+        if len(active) < _VECTOR_MIN_FLOWS:
+            # Small active set: per-element numpy dispatch costs more than
+            # it saves, so run the reference loop against the slot arrays
+            # (same arithmetic, element by element).
+            f_tr = self._f_transferred
+            for flow in active:
+                rate = flow.rate
+                if rate <= 0:
+                    continue
+                delta = rate * elapsed
+                size = flow.size
+                slot = flow._slot
+                if size is not None:
+                    remaining = size - float(f_tr[slot])
+                    if delta > remaining:
+                        delta = remaining
+                if delta <= 0:
+                    continue
+                f_tr[slot] += delta
+                charges = flow.charges
+                if charges:
+                    for account, per_byte in charges:
+                        account.add(delta * per_byte)
+            return
+        # Fused progress update: delta = clip(rate * dt, 0, remaining).
+        # Freed slots ride along harmlessly (rate 0 -> delta 0).
+        delta = self._f_rate[:hw] * elapsed
+        np.minimum(delta, self._f_size[:hw] - self._f_transferred[:hw], out=delta)
+        np.maximum(delta, 0.0, out=delta)
+        self._f_transferred[:hw] += delta
+        m = self._c_len
+        if m:
+            # Charge accounting as one sparse mat-vec: per-account totals
+            # are the weighted sums of member-flow deltas.  Dead entries
+            # have cost 0 and contribute nothing.
+            contrib = delta[self._c_slot[:m]] * self._c_cost[:m]
+            amounts = np.bincount(
+                self._c_acct[:m], weights=contrib, minlength=len(self._accounts)
+            )
+            if amounts.any():
+                accounts = self._accounts
+                for i in np.nonzero(amounts)[0].tolist():
+                    accounts[i].add(float(amounts[i]))
+
+    # -- array-solver state management -----------------------------------------
+    def _bind_slot(self, flow: FluidFlow) -> None:
+        if not self._free_slots:
+            self._grow_slots()
+        slot = self._free_slots.pop()
+        flow._slot = slot
+        flow._sched = self
+        self._slot_flow[slot] = flow
+        if slot >= self._hw:
+            self._hw = slot + 1
+        self._f_rate[slot] = 0.0
+        self._f_cap[slot] = np.inf if flow.cap is None else flow.cap
+        self._f_size[slot] = np.inf if flow.size is None else flow.size
+        self._f_transferred[slot] = flow._transferred
+        ids = flow._res_ids
+        if ids is None:
+            n = len(flow._weights)
+            ids = np.fromiter(
+                (r._idx for r in flow._weights), dtype=np.intp, count=n
+            )
+            flow._res_ids = ids
+            flow._res_ws = np.fromiter(
+                flow._weights.values(), dtype=float, count=n
+            )
+        ne = ids.size
+        start = self._e_used
+        if start + ne > self._e_slot.size:
+            self._grow_entries(start + ne)
+        self._e_res[start: start + ne] = ids
+        self._e_w[start: start + ne] = flow._res_ws
+        self._e_slot[start: start + ne] = slot
+        self._e_used = start + ne
+        charges = [(a, c) for a, c in flow.charges if c != 0.0]
+        if charges:
+            start = self._c_len
+            need = start + len(charges)
+            if need > self._c_slot.size:
+                self._grow_charges(need)
+            acct_index = self._acct_index
+            for k, (account, cost) in enumerate(charges):
+                key = id(account)
+                idx = acct_index.get(key)
+                if idx is None:
+                    idx = len(self._accounts)
+                    acct_index[key] = idx
+                    self._accounts.append(account)
+                self._c_slot[start + k] = flow._slot
+                self._c_acct[start + k] = idx
+                self._c_cost[start + k] = cost
+            self._c_len = need
+            flow._c_start = start
+            flow._c_n = len(charges)
+
+    def _div_scratch(self, n: int) -> np.ndarray:
+        """An inf-filled length-``n`` scratch view for masked divisions."""
+        d = self._div
+        if d.size < n:
+            self._div = d = np.empty(max(n, 2 * d.size))
+        view = d[:n]
+        view.fill(np.inf)
+        return view
+
+    def _grow_slots(self) -> None:
+        old = self._f_rate.size
+        new = old * 2
+        for name in ("_f_rate", "_f_cap", "_f_size", "_f_transferred"):
+            arr = getattr(self, name)
+            grown = np.empty(new)
+            grown[:old] = arr
+            setattr(self, name, grown)
+        self._f_cap[old:] = np.inf
+        self._f_size[old:] = np.inf
+        self._f_rate[old:] = 0.0
+        self._f_transferred[old:] = 0.0
+        self._slot_flow.extend([None] * old)
+        self._free_slots.extend(range(new - 1, old - 1, -1))
+        fsc = np.zeros(new, dtype=np.intp)
+        fsc[:old] = self._flow_scratch
+        self._flow_scratch = fsc
+
+    def _grow_entries(self, need: int) -> None:
+        new = max(need, self._e_slot.size * 2)
+        for name, dtype in (("_e_res", np.intp), ("_e_w", float),
+                            ("_e_slot", np.intp)):
+            arr = getattr(self, name)
+            grown = np.zeros(new, dtype=dtype)
+            grown[: arr.size] = arr
+            setattr(self, name, grown)
+
+    def _compact_entries(self) -> None:
+        """Drop tombstoned incidence entries (churn-threshold rebuild)."""
+        u = self._e_used
+        alive = self._e_slot[:u] >= 0
+        k = int(alive.sum())
+        if k != u:
+            self._e_res[:k] = self._e_res[:u][alive]
+            self._e_w[:k] = self._e_w[:u][alive]
+            self._e_slot[:k] = self._e_slot[:u][alive]
+        self._e_used = k
+        self._e_dead = 0
+
+    def _grow_charges(self, need: int) -> None:
+        new = max(need, self._c_slot.size * 2)
+        for name, dtype in (("_c_slot", np.intp), ("_c_acct", np.intp),
+                            ("_c_cost", float)):
+            arr = getattr(self, name)
+            grown = np.zeros(new, dtype=dtype)
+            grown[: arr.size] = arr
+            setattr(self, name, grown)
+
+    def _release_slot(self, flow: FluidFlow) -> None:
+        slot = flow._slot
+        flow._transferred = float(self._f_transferred[slot])
+        self._f_rate[slot] = 0.0
+        self._f_cap[slot] = np.inf
+        self._f_size[slot] = np.inf
+        flow._slot = -1
+        flow._sched = None
+        self._slot_flow[slot] = None
+        self._free_slots.append(slot)
+        es = self._e_slot[: self._e_used]
+        es[es == slot] = -1
+        self._e_dead += flow._res_ids.size
+        if self._e_dead * 2 > self._e_used:
+            self._compact_entries()
+        if flow._c_n:
+            # Zero the costs in place: the entries become inert even if
+            # the slot is reused before the next compaction.
+            self._c_cost[flow._c_start: flow._c_start + flow._c_n] = 0.0
+            self._c_dead += flow._c_n
+            flow._c_n = 0
+            if (self._c_len >= _CHARGE_COMPACT_MIN
+                    and self._c_dead * 2 > self._c_len):
+                self._compact_charges()
+
+    def _compact_charges(self) -> None:
+        """Rebuild the charge pool from live flows (churn-threshold rebuild)."""
+        pos = 0
+        c_slot, c_acct, c_cost = self._c_slot, self._c_acct, self._c_cost
+        for flow in self._active:
+            n = flow._c_n
+            if not n:
+                continue
+            start = flow._c_start
+            if start != pos:
+                c_slot[pos: pos + n] = c_slot[start: start + n]
+                c_acct[pos: pos + n] = c_acct[start: start + n]
+                c_cost[pos: pos + n] = c_cost[start: start + n]
+                flow._c_start = pos
+            pos += n
+        self._c_len = pos
+        self._c_dead = 0
+
     # -- internals ------------------------------------------------------------
     def _deactivate(self, flow: FluidFlow) -> None:
         flow._active = False
-        flow.rate = 0.0
         flow.finished_at = self.sim.now
         self._active.remove(flow)
         users = self._users
@@ -323,12 +715,16 @@ class FluidScheduler:
                 if not res_users:
                     del users[r]
             self._dirty[r] = None
+        if flow._slot >= 0:
+            self._release_slot(flow)
+        flow.rate = 0.0
         if flow.done is not None and not flow.done.triggered:
-            flow.done.succeed(flow.transferred)
+            flow.done.succeed(flow._transferred)
 
     def _rebalance(self) -> None:
         """Recompute the max-min fair rates; reschedule next completion."""
         self.stats.rebalances += 1
+        FluidStats.total_rebalances += 1
         self._allocate()
         self._schedule_next_completion()
 
@@ -343,33 +739,36 @@ class FluidScheduler:
         users = self._users
         affected_flows: list[FluidFlow] = []
         affected_res: list[FluidResource] = []
-        seen_flows: set[FluidFlow] = set()
-        seen_res: set[FluidResource] = set()
+        # Visit stamps instead of membership sets: one epoch counter per
+        # closure, one attribute compare per membership test (the BFS runs
+        # on every rebalance, so constant factors matter).
+        epoch = self._visit_epoch + 1
+        self._visit_epoch = epoch
         stack: list[FluidResource] = []
         for r in self._dirty:
-            if r not in seen_res:
-                seen_res.add(r)
+            if r._visit != epoch:
+                r._visit = epoch
                 affected_res.append(r)
                 stack.append(r)
         for f in self._dirty_flows:
-            if f._active and f not in seen_flows:
-                seen_flows.add(f)
+            if f._active and f._visit != epoch:
+                f._visit = epoch
                 affected_flows.append(f)
                 for r in f._weights:
-                    if r not in seen_res:
-                        seen_res.add(r)
+                    if r._visit != epoch:
+                        r._visit = epoch
                         affected_res.append(r)
                         stack.append(r)
         while stack:
             r = stack.pop()
             for f in users.get(r, ()):
-                if f in seen_flows:
+                if f._visit == epoch:
                     continue
-                seen_flows.add(f)
+                f._visit = epoch
                 affected_flows.append(f)
                 for r2 in f._weights:
-                    if r2 not in seen_res:
-                        seen_res.add(r2)
+                    if r2._visit != epoch:
+                        r2._visit = epoch
                         affected_res.append(r2)
                         stack.append(r2)
         return affected_flows, affected_res
@@ -386,46 +785,142 @@ class FluidScheduler:
         stats.allocations += 1
         stats.flows_recomputed += len(flows)
         stats.flows_skipped += len(self._active) - len(flows)
+        FluidStats.total_allocations += 1
+        FluidStats.total_flows_recomputed += len(flows)
+        FluidStats.total_flows_skipped += len(self._active) - len(flows)
         load = self._load
         if not flows:
             for r in touched_res:
                 load[r] = 0.0
             return
+        if len(flows) == 1:
+            self._allocate_single(flows[0], touched_res)
+        elif self._array and len(flows) >= _VECTOR_MIN_FLOWS:
+            self._allocate_array(flows, touched_res)
+        else:
+            self._allocate_scalar(flows, touched_res)
 
+    def _allocate_single(
+        self, f: FluidFlow, touched_res: list[FluidResource]
+    ) -> None:
+        """One-flow component: the fair rate is just the bottleneck.
+
+        Progressive filling with a single flow converges in one round to
+        ``min(cap, min over path of capacity / weight)`` — computed here
+        directly, with the same per-candidate flooring as the full loop.
+        """
+        delta = math.inf
+        for r, w in f._weights.items():
+            c = r._capacity
+            if math.isfinite(c):
+                d = c / w
+                if d < delta:
+                    delta = d if d > 0.0 else 0.0
+        cap = f.cap
+        if cap is not None and cap < delta:
+            delta = cap
+        if not math.isfinite(delta):
+            raise SimulationError(f"unbounded flows in allocation: {[f.name]}")
+        if delta < 0.0:
+            delta = 0.0
+        f.rate = delta
+        if f._slot >= 0:
+            self._f_rate[f._slot] = delta
+        load = self._load
+        weights = f._weights
+        for r in touched_res:
+            load[r] = weights[r] * delta if r in weights else 0.0
+
+    def _allocate_scalar(
+        self, flows: list[FluidFlow], touched_res: list[FluidResource]
+    ) -> None:
+        """Reference progressive filling over one affected component.
+
+        The component is assembled once into parallel lists indexed by a
+        local resource id (list indexing beats dict iteration in the
+        filling rounds), and the per-round constants — saturation and
+        cap-freeze thresholds — are precomputed instead of re-derived
+        every round.
+
+        Resources with a single user never arbitrate between flows: such a
+        *private* resource is exactly a rate cap of ``capacity / weight``
+        on its one flow, so it is folded into the flow's effective cap at
+        assembly and drops out of the per-round scans entirely.  In the
+        pipelined topologies this library models most path entries are
+        private (a flow's own CPU, its DMA engine, its half of a link), so
+        the filling rounds touch only the handful of genuinely shared
+        resources.
+        """
+        nf = len(flows)
+        users = self._users
         rate = dict.fromkeys(flows, 0.0)
         unfrozen = dict.fromkeys(flows)
-        # Per-resource residual capacity and weight-sum over *unfrozen*
-        # users; the weight sums are maintained incrementally as flows
-        # freeze instead of being recomputed every filling round.
-        residual: dict[FluidResource, float] = {}
-        wsum: dict[FluidResource, float] = {}
-        ucount: dict[FluidResource, int] = {}  # unfrozen users (exact)
-        res_users: dict[FluidResource, list[FluidFlow]] = {}
+        # Per-shared-resource residual capacity and weight-sum over
+        # *unfrozen* users; the weight sums are maintained incrementally
+        # as flows freeze instead of being recomputed every filling round.
+        res_index: dict[FluidResource, int] = {}
+        residual: list[float] = []
+        wsum: list[float] = []
+        ucount: list[int] = []  # unfrozen users (exact)
+        res_users: list[list[FluidFlow]] = []
+        sat_thresh: list[float] = []
+        f_entries: dict[FluidFlow, list[tuple[int, float]]] = {}
+        cap_eff: dict[FluidFlow, float] = {}
+        cap_thresh: dict[FluidFlow, float] = {}
+        capped: list[FluidFlow] = []
         for f in flows:
+            bound = f.cap if f.cap is not None else math.inf
+            ents = []
             for r, w in f._weights.items():
-                if r not in residual:
-                    residual[r] = r.capacity
-                    wsum[r] = 0.0
-                    ucount[r] = 0
-                    res_users[r] = []
-                wsum[r] += w
-                ucount[r] += 1
-                res_users[r].append(f)
+                if len(users[r]) == 1:
+                    c = r._capacity
+                    if c < math.inf:
+                        b = c / w
+                        if b < bound:
+                            bound = b
+                    continue
+                i = res_index.get(r)
+                if i is None:
+                    i = len(residual)
+                    res_index[r] = i
+                    c = r._capacity
+                    residual.append(c)
+                    wsum.append(0.0)
+                    ucount.append(0)
+                    res_users.append([])
+                    # An infinite-capacity resource can never saturate:
+                    # its threshold must be -inf, not inf * eps (= inf,
+                    # which would satisfy `residual <= thresh` forever and
+                    # spuriously freeze every user in the first round).
+                    sat_thresh.append(
+                        _EPS * (c if c > 1.0 else 1.0)
+                        if c < math.inf else -math.inf
+                    )
+                wsum[i] += w
+                ucount[i] += 1
+                res_users[i].append(f)
+                ents.append((i, w))
+            f_entries[f] = ents
+            if bound < math.inf:
+                capped.append(f)
+                cap_eff[f] = bound
+                cap_thresh[f] = bound - _EPS * (bound if bound > 1.0 else 1.0)
+        nres = len(residual)
 
         guard = 0
         while unfrozen:
             guard += 1
-            if guard > 4 * len(flows) + 8:  # pragma: no cover - safety net
+            if guard > 4 * nf + 8:  # pragma: no cover - safety net
                 raise SimulationError("progressive filling failed to converge")
             delta = math.inf
-            for r, ws in wsum.items():
-                if ws > 0 and math.isfinite(residual[r]):
-                    d = residual[r] / ws
+            for ws, rest in zip(wsum, residual):
+                if ws > 0 and rest < math.inf:
+                    d = rest / ws
                     if d < delta:
                         delta = d if d > 0.0 else 0.0
-            for f in unfrozen:
-                if f.cap is not None:
-                    d = f.cap - rate[f]
+            for f in capped:
+                if f in unfrozen:
+                    d = cap_eff[f] - rate[f]
                     if d < delta:
                         delta = d
             if not math.isfinite(delta):
@@ -436,19 +931,18 @@ class FluidScheduler:
             if delta > 0:
                 for f in unfrozen:
                     rate[f] += delta
-                for r, ws in wsum.items():
+                for i in range(nres):
+                    ws = wsum[i]
                     if ws > 0:
-                        residual[r] -= delta * ws
+                        residual[i] -= delta * ws
             # freeze flows at their cap, then flows on saturated resources
             newly_frozen = [
-                f
-                for f in unfrozen
-                if f.cap is not None and rate[f] >= f.cap - _EPS * max(1.0, f.cap)
+                f for f in capped if f in unfrozen and rate[f] >= cap_thresh[f]
             ]
             frozen_set = set(newly_frozen)
-            for r, rest in residual.items():
-                if rest <= _EPS * max(1.0, r.capacity):
-                    for f in res_users[r]:
+            for i in range(nres):
+                if residual[i] <= sat_thresh[i]:
+                    for f in res_users[i]:
                         if f in unfrozen and f not in frozen_set:
                             frozen_set.add(f)
                             newly_frozen.append(f)
@@ -457,32 +951,228 @@ class FluidScheduler:
             for f in newly_frozen:
                 if f in unfrozen:
                     del unfrozen[f]
-                    for r, w in f._weights.items():
-                        n = ucount[r] - 1
-                        ucount[r] = n
+                    for i, w in f_entries[f]:
+                        n = ucount[i] - 1
+                        ucount[i] = n
                         # Zero exactly when the last user freezes: the
                         # incremental subtraction leaves fp dust that would
                         # otherwise keep a fully-frozen resource in play.
-                        wsum[r] = wsum[r] - w if n else 0.0
+                        wsum[i] = wsum[i] - w if n else 0.0
 
-        for f in flows:
-            f.rate = rate[f]
-        users = self._users
+        if self._array:
+            f_rate = self._f_rate
+            for f in flows:
+                r = rate[f]
+                f.rate = r
+                f_rate[f._slot] = r
+        else:
+            for f in flows:
+                f.rate = rate[f]
+        load = self._load
         for r in touched_res:
-            total = 0.0
-            for f in users.get(r, ()):
-                total += f._weights[r] * f.rate
-            load[r] = total
+            load[r] = 0.0
+        for f in flows:
+            rf = rate[f]
+            for r, w in f._weights.items():
+                load[r] += w * rf
+
+    def _allocate_array(
+        self, flows: list[FluidFlow], touched_res: list[FluidResource]
+    ) -> None:
+        """Vectorized water-filling over one affected component.
+
+        The component's incidence is assembled as an entry list (CSR
+        data): ``ent_flow[k]``/``ent_res[k]``/``ent_w[k]`` say that local
+        flow ``ent_flow[k]`` consumes ``ent_w[k]`` bytes of local
+        resource ``ent_res[k]`` per payload byte.  Each filling round is
+        a handful of fused array ops regardless of component size.
+        """
+        F = len(flows)
+        R = len(touched_res)
+        slots = np.fromiter((f._slot for f in flows), dtype=np.intp, count=F)
+        if F == len(self._active):
+            # Whole-graph allocation (the common churn regime): the
+            # incrementally-maintained incidence pool already holds every
+            # entry; compact tombstones away and use it in place.
+            if self._e_dead:
+                self._compact_entries()
+            u = self._e_used
+            ent_res_g = self._e_res[:u]
+            ent_w = self._e_w[:u]
+            fsc = self._flow_scratch
+            fsc[slots] = np.arange(F)
+            ent_flow = fsc[self._e_slot[:u]]
+        else:
+            # Sub-component: gather the member flows' cached rows.
+            res_rows = [f._res_ids for f in flows]
+            ent_res_g = np.concatenate(res_rows)
+            ent_w = np.concatenate([f._res_ws for f in flows])
+            counts = np.fromiter(
+                (a.size for a in res_rows), dtype=np.intp, count=F
+            )
+            ent_flow = np.repeat(np.arange(F), counts)
+        # Map global resource ids to component-local [0, R) via scratch.
+        if self._res_scratch.size < len(self._resources):
+            self._res_scratch = np.zeros(len(self._resources), dtype=np.intp)
+        scratch = self._res_scratch
+        ridx = np.fromiter((r._idx for r in touched_res), dtype=np.intp, count=R)
+        scratch[ridx] = np.arange(R)
+        ent_res = scratch[ent_res_g]
+
+        cap_l = self._f_cap[slots]
+        r_cap = np.fromiter((r._capacity for r in touched_res), dtype=float, count=R)
+        # Single-user resources never arbitrate: fold each private entry
+        # into its flow's effective cap (capacity / weight) and keep only
+        # the genuinely shared entries in the filling rounds.  The full
+        # entry set is retained for the final load update.
+        users = self._users
+        nusers = np.fromiter(
+            (len(users.get(r, ())) for r in touched_res), dtype=np.intp, count=R
+        )
+        ent_full_res, ent_full_w, ent_full_flow = ent_res, ent_w, ent_flow
+        priv = nusers[ent_res] == 1
+        if priv.any():
+            np.minimum.at(
+                cap_l, ent_flow[priv], r_cap[ent_res[priv]] / ent_w[priv]
+            )
+            shared = ~priv
+            ent_res = ent_res[shared]
+            ent_w = ent_w[shared]
+            ent_flow = ent_flow[shared]
+        residual = r_cap.copy()
+        wsum = np.bincount(ent_res, weights=ent_w, minlength=R)
+        ucount = np.bincount(ent_res, minlength=R)
+        # cap_work holds each flow's remaining cap, switched to inf once the
+        # flow freezes so min()/compare need no mask; cap_thresh is the
+        # freeze band below the cap (mirrors the scalar solver's epsilon).
+        cap_work = cap_l.copy()
+        cap_thresh = np.full(F, np.inf)
+        capped = np.isfinite(cap_l)
+        if capped.any():
+            cf = cap_l[capped]
+            cap_thresh[capped] = cf - _EPS * np.maximum(1.0, cf)
+        r_thresh = _EPS * np.maximum(1.0, r_cap)
+        # Infinite-capacity resources never saturate; eps * inf would be
+        # inf and `residual <= r_thresh` would hold forever, spuriously
+        # freezing their users at the first saturation round's level.
+        r_thresh[np.isinf(r_cap)] = -np.inf
+
+        # All unfrozen flows grow in lockstep from zero, so the common fill
+        # `level` is a scalar; per-flow rates materialize only at freeze
+        # time.  Saturated resources get residual=inf once processed so
+        # they drop out of both the delta min and the saturation scan.
+        rate_l = np.zeros(F)
+        unfrozen = np.ones(F, dtype=bool)
+        ent_alive = np.ones(ent_res.size, dtype=bool)
+        n_unfrozen = F
+        level = 0.0
+        guard = 0
+        while n_unfrozen:
+            guard += 1
+            if guard > 4 * F + 8:  # pragma: no cover - safety net
+                raise SimulationError("progressive filling failed to converge")
+            dv = self._div_scratch(R)
+            np.divide(residual, wsum, out=dv, where=wsum > 0.0)
+            d_res = float(dv.min())
+            cap_min = float(cap_work.min())
+            if d_res < 0.0:
+                d_res = 0.0
+            delta = d_res
+            # Every cap strictly below the next saturation level freezes in
+            # this round: removing a capped flow only ever *raises* the
+            # remaining resources' saturation levels, so no saturation can
+            # overtake a lower cap.  Each such flow freezes at its own cap.
+            cap_batch = cap_min - level < d_res
+            if cap_batch:
+                # Finite-threshold flows only: when d_res is inf (every
+                # remaining constraint is an infinite resource) the band
+                # `<= level + d_res` would also sweep up frozen flows and
+                # uncapped ones, whose thresholds sit at inf.
+                batch = cap_thresh <= level + d_res
+                batch &= np.isfinite(cap_thresh)
+                if not batch.any():  # pragma: no cover - numerical corner
+                    cap_batch = False
+            if cap_batch:
+                newly = batch
+                caps_b = cap_work[batch]
+                rate_l[batch] = caps_b
+                # residual already charges these flows at `level`; top the
+                # charge up to each one's cap without advancing `level`.
+                fe = batch[ent_flow]
+                fe &= ent_alive
+                er = ent_res[fe]
+                top_up = (cap_work[ent_flow[fe]] - level) * ent_w[fe]
+                residual -= np.bincount(er, weights=top_up, minlength=R)
+            else:
+                if not math.isfinite(delta):
+                    names = sorted(
+                        f.name for f, u in zip(flows, unfrozen.tolist()) if u
+                    )
+                    raise SimulationError(
+                        f"unbounded flows in allocation: {names}"
+                    )
+                if delta > 0.0:
+                    level += delta
+                    residual -= delta * wsum
+                # freeze flows riding on saturated resources at `level`
+                newly = cap_thresh <= level
+                sat = residual <= r_thresh
+                if sat.any():
+                    members = ent_flow[sat[ent_res] & ent_alive]
+                    if members.size:
+                        newly[members] = True
+                        newly &= unfrozen
+                    residual[sat] = np.inf
+                n_also = int(newly.sum())
+                if not n_also:  # pragma: no cover - numerical corner
+                    newly = unfrozen.copy()
+                rate_l[newly] = level
+                fe = newly[ent_flow]
+                fe &= ent_alive
+                er = ent_res[fe]
+            n_new = int(newly.sum())
+            cap_work[newly] = np.inf
+            cap_thresh[newly] = np.inf
+            if er.size:
+                wsum -= np.bincount(er, weights=ent_w[fe], minlength=R)
+                ucount -= np.bincount(er, minlength=R)
+                wsum[ucount == 0] = 0.0
+                ent_alive &= ~fe
+            unfrozen &= ~newly
+            n_unfrozen -= n_new
+
+        self._f_rate[slots] = rate_l
+        for f, r in zip(flows, rate_l.tolist()):
+            f.rate = r
+        loads = np.bincount(
+            ent_full_res, weights=ent_full_w * rate_l[ent_full_flow], minlength=R
+        )
+        load = self._load
+        for r, v in zip(touched_res, loads.tolist()):
+            load[r] = v
 
     def _schedule_next_completion(self) -> None:
         self._timer_generation += 1
         gen = self._timer_generation
+        if self._array:
+            horizon = self._completion_horizon_array()
+        else:
+            horizon = self._completion_horizon_python()
+        if horizon is None:
+            return
+        # The generation rides in the timeout's value so no per-rebalance
+        # closure needs to be allocated.  The deadline is absolute: the
+        # solver computed `now + remaining/rate` directly.
+        timer = self.sim.timeout_at(self.sim.now + horizon, gen)
+        timer.add_callback(self._on_timer_event)
+
+    def _completion_horizon_python(self) -> Optional[float]:
         horizon = math.inf
         for f in self._active:
             size = f.size
             if size is None or f.rate <= 0:
                 continue
-            remaining = size - f.transferred
+            remaining = size - f._transferred
             if remaining <= _EPS * size:
                 horizon = 0.0
                 break
@@ -490,11 +1180,38 @@ class FluidScheduler:
             if eta < horizon:
                 horizon = eta
         if not math.isfinite(horizon):
-            return
-        # The generation rides in the timeout's value so no per-rebalance
-        # closure needs to be allocated.
-        timer = self.sim.timeout(horizon, gen)
-        timer.add_callback(self._on_timer_event)
+            return None
+        return horizon
+
+    def _completion_horizon_array(self) -> Optional[float]:
+        hw = self._hw
+        if not hw:
+            return None
+        active = self._active
+        if len(active) < _VECTOR_MIN_FLOWS:
+            f_tr = self._f_transferred
+            horizon = math.inf
+            for f in active:
+                size = f.size
+                if size is None or f.rate <= 0:
+                    continue
+                remaining = size - float(f_tr[f._slot])
+                if remaining <= _EPS * size:
+                    return 0.0
+                eta = remaining / f.rate
+                if eta < horizon:
+                    horizon = eta
+            return horizon if math.isfinite(horizon) else None
+        rate = self._f_rate[:hw]
+        size = self._f_size[:hw]
+        cand = (rate > 0.0) & np.isfinite(size)
+        if not cand.any():
+            return None
+        size_c = size[cand]
+        rem = size_c - self._f_transferred[:hw][cand]
+        if (rem <= _EPS * size_c).any():
+            return 0.0
+        return float((rem / rate[cand]).min())
 
     def _on_timer_event(self, ev: Event) -> None:
         self._on_timer(ev._value)
@@ -503,11 +1220,32 @@ class FluidScheduler:
         if generation != self._timer_generation:
             return  # superseded by a later rebalance
         self.settle()
-        finished = [
-            f
-            for f in self._active
-            if f.size is not None and f.size - f.transferred <= _EPS * f.size
-        ]
+        if self._array:
+            if len(self._active) < _VECTOR_MIN_FLOWS:
+                f_tr = self._f_transferred
+                finished = [
+                    f
+                    for f in self._active
+                    if f.size is not None
+                    and f.size - float(f_tr[f._slot]) <= _EPS * f.size
+                ]
+            else:
+                hw = self._hw
+                size = self._f_size[:hw]
+                fin = np.isfinite(size) & (
+                    size - self._f_transferred[:hw] <= _EPS * size
+                )
+                if fin.any():
+                    fin_slots = set(np.nonzero(fin)[0].tolist())
+                    finished = [f for f in self._active if f._slot in fin_slots]
+                else:
+                    finished = []
+        else:
+            finished = [
+                f
+                for f in self._active
+                if f.size is not None and f.size - f._transferred <= _EPS * f.size
+            ]
         for f in finished:
             f.transferred = f.size  # snap away float dust
             self._deactivate(f)
