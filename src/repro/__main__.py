@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -105,6 +106,11 @@ def cmd_report(args) -> int:
               f"allocations={fluid['allocations']}  "
               f"recomputed={fluid['flows_recomputed']}  "
               f"skipped={fluid['flows_skipped']}")
+    sampler = stats.get("sampler")
+    if sampler is not None:
+        print(f"[sampler] backend={sampler['backend']}  "
+              f"samples_backfilled={sampler['samples_backfilled']}  "
+              f"events_skipped={sampler['events_skipped']}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
@@ -143,10 +149,15 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="enumerate experiments").set_defaults(
         fn=cmd_list)
 
+    # REPRO_FULL=1 in the environment is equivalent to passing --full
+    # (the benchmarks and CI full-scale smoke use the env form).
+    full_default = os.environ.get("REPRO_FULL", "") == "1"
+
     p_run = sub.add_parser("run", help="run one experiment (or 'all')")
     p_run.add_argument("experiment")
-    p_run.add_argument("--full", action="store_true",
-                       help="paper-scale durations (minutes of simulated time)")
+    p_run.add_argument("--full", action="store_true", default=full_default,
+                       help="paper-scale durations (minutes of simulated "
+                       "time); also enabled by REPRO_FULL=1")
     p_run.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
@@ -160,7 +171,9 @@ def main(argv=None) -> int:
         "across worker processes. The written ledger is byte-identical "
         "whatever the jobs count or cache state.")
     p_rep.add_argument("-o", "--output", default="EXPERIMENTS.md")
-    p_rep.add_argument("--full", action="store_true")
+    p_rep.add_argument("--full", action="store_true", default=full_default,
+                       help="paper-scale durations; also enabled by "
+                       "REPRO_FULL=1")
     p_rep.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_rep)
     p_rep.add_argument(

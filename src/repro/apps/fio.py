@@ -145,8 +145,7 @@ def run_fio(
 
     ledger = CpuAccounting("fio")
     for t in threads:
-        for k, v in t.accounting.seconds_by_category().items():
-            ledger.add(k, v)
+        ledger.add_many(t.accounting.seconds_by_category())
 
     return FioResult(
         total_bytes=total,

@@ -195,8 +195,15 @@ class GridFtp:
         return self.flows
 
     def transferred(self) -> float:
-        """Total bytes moved so far across all streams."""
-        return sum(f.transferred for f in self.flows)
+        """Total bytes moved so far across all streams.
+
+        Kept allocation-free (plain loop, no ``sum()`` generator): this
+        bound method is the sampler counter for the throughput probe.
+        """
+        total = 0.0
+        for f in self.flows:
+            total += f.transferred
+        return total
 
     def run(self, duration: float, sample_interval: float = 1.0) -> GridFtpResult:
         """Run the experiment; returns the paper-vs-measured report."""
@@ -221,8 +228,7 @@ class GridFtp:
         def ledger(threads, name):
             acc = CpuAccounting(name)
             for t in threads:
-                for k, v in t.accounting.seconds_by_category().items():
-                    acc.add(k, v)
+                acc.add_many(t.accounting.seconds_by_category())
             return acc
 
         return GridFtpResult(

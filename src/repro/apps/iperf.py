@@ -167,8 +167,7 @@ def run_iperf(
     ledger = CpuAccounting("iperf")
     for conn in connections:
         for acc in (conn.sender.thread.accounting, conn.receiver.thread.accounting):
-            for k, v in acc.seconds_by_category().items():
-                ledger.add(k, v)
+            ledger.add_many(acc.seconds_by_category())
 
     return IperfResult(
         total_bytes=total,

@@ -68,8 +68,7 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
     rftp_gbps = res.goodput_gbps
     merged = CpuAccounting("rftp")
     for src in (res.sender_accounting, res.receiver_accounting):
-        for k, v in src.seconds_by_category().items():
-            merged.add(k, v)
+        merged.add_many(src.seconds_by_category())
     rftp_cats: Dict[str, float] = fig4_categories([merged], duration)
     rftp_total = sum(rftp_cats.values())
     for cat, pct in sorted(rftp_cats.items(), key=lambda kv: -kv[1]):

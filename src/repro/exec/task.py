@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SimTask"]
 
 #: Bump when the on-disk cache entry layout changes (invalidates all keys).
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 
 
 def _canonical(obj: Any) -> Any:
@@ -90,13 +90,15 @@ class SimTask:
     def identity(self) -> str:
         """Canonical JSON of everything the result depends on (except code).
 
-        The active fluid-solver backend is part of the identity: both
-        backends are held to the same observables (and the ledger is
-        byte-identical today), but a cache entry must never outlive the
-        question of *which* kernel produced it — switching
-        ``REPRO_FLUID_SOLVER`` recomputes rather than replays.
+        The active fluid-solver and sampler backends are part of the
+        identity: each pair of backends is held to the same observables
+        (and the ledger is byte-identical today), but a cache entry must
+        never outlive the question of *which* kernel produced it —
+        switching ``REPRO_FLUID_SOLVER`` or ``REPRO_SAMPLER`` recomputes
+        rather than replays.
         """
         from repro.sim.fluid import default_solver
+        from repro.sim.sampling import default_sampler
 
         return json.dumps(
             {
@@ -105,6 +107,7 @@ class SimTask:
                 "seed": self.seed,
                 "cal": _canonical(self.cal),
                 "solver": default_solver(),
+                "sampler": default_sampler(),
                 "v": CACHE_FORMAT_VERSION,
             },
             sort_keys=True,

@@ -140,8 +140,7 @@ class CpuAccounting:
         """A new ledger summing this one with *others*."""
         out = CpuAccounting(self.name)
         for src in (self, *others):
-            for k, v in src.seconds_by_category().items():
-                out.add(k, v)
+            out.add_many(src.seconds_by_category())
         return out
 
     def __repr__(self) -> str:

@@ -38,6 +38,7 @@ from repro.sim.fluid import (
 )
 from repro.sim.resources import Container, PriorityResource, Resource, Store
 from repro.sim.rng import RngRegistry
+from repro.sim.sampling import SAMPLERS, SamplerHub, default_sampler, hub_for
 from repro.sim.trace import EventRateProbe, ThroughputProbe, TimeSeries, TraceLog
 
 __all__ = [
@@ -60,6 +61,10 @@ __all__ = [
     "FluidStats",
     "SOLVERS",
     "default_solver",
+    "SAMPLERS",
+    "SamplerHub",
+    "default_sampler",
+    "hub_for",
     "RngRegistry",
     "TimeSeries",
     "ThroughputProbe",

@@ -316,17 +316,23 @@ class SimStats:
     ``events_scheduled``/``events_processed`` count heap pushes/pops,
     ``heap_peak`` is the largest simultaneous schedule, ``timeouts_reused``
     counts free-list hits, and ``wall_seconds`` accumulates real time spent
-    inside :meth:`Simulator.run`.
+    inside :meth:`Simulator.run`.  ``samples_backfilled`` counts telemetry
+    samples materialized analytically by the backfill sampler
+    (:mod:`repro.sim.sampling`) and ``events_skipped`` the heap events
+    those samples would have cost under the per-tick sampler.
     """
 
     __slots__ = ("events_scheduled", "events_processed", "heap_peak",
-                 "timeouts_reused", "wall_seconds")
+                 "timeouts_reused", "samples_backfilled", "events_skipped",
+                 "wall_seconds")
 
     def __init__(self) -> None:
         self.events_scheduled = 0
         self.events_processed = 0
         self.heap_peak = 0
         self.timeouts_reused = 0
+        self.samples_backfilled = 0
+        self.events_skipped = 0
         self.wall_seconds = 0.0
 
     def as_dict(self) -> dict[str, float]:
@@ -336,6 +342,8 @@ class SimStats:
             "events_processed": self.events_processed,
             "heap_peak": self.heap_peak,
             "timeouts_reused": self.timeouts_reused,
+            "samples_backfilled": self.samples_backfilled,
+            "events_skipped": self.events_skipped,
             "wall_seconds": self.wall_seconds,
         }
 
@@ -344,6 +352,7 @@ class SimStats:
             f"<SimStats scheduled={self.events_scheduled} "
             f"processed={self.events_processed} heap_peak={self.heap_peak} "
             f"timeouts_reused={self.timeouts_reused} "
+            f"backfilled={self.samples_backfilled} "
             f"wall={self.wall_seconds:.3g}s>"
         )
 
@@ -367,6 +376,10 @@ class Simulator:
         self._seq = 0
         self._timeout_pool: list[Timeout] = []
         self.stats = SimStats()
+        #: Lazily-created telemetry hub (see :mod:`repro.sim.sampling`).
+        #: The engine only flushes it at run() boundaries; everything else
+        #: lives on the sampling side to keep the kernel dependency-free.
+        self.sampler_hub = None
 
     # -- clock --------------------------------------------------------------
     @property
@@ -520,4 +533,11 @@ class Simulator:
             self._now = horizon
             return None
         finally:
+            # Backfill samplers materialize pending telemetry at run
+            # boundaries so series are current when control returns to
+            # the caller (no-op unless backfill channels are registered,
+            # keeping per-tick sampling byte-identical to its history).
+            hub = self.sampler_hub
+            if hub is not None and hub._channels:
+                hub.flush()
             self.stats.wall_seconds += time.perf_counter() - t0

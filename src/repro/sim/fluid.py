@@ -60,6 +60,7 @@ from typing import Any, Iterable, List, Optional, Protocol, Sequence
 import numpy as np
 
 from repro.sim.engine import Event, SimulationError, Simulator
+from repro.sim.sampling import hub_for
 
 __all__ = [
     "FluidResource",
@@ -369,6 +370,10 @@ class FluidScheduler:
         self._load: dict[FluidResource, float] = {}
         self._visit_epoch = 0
         self.stats = FluidStats()
+        # Telemetry: every settle() that advances the clock ends a rate
+        # epoch, and the hub backfills declared sample channels then.
+        self._hub = hub_for(sim)
+        self._hub.attach_scheduler(self)
         if self._array:
             # Slot arrays (doubled on demand).  ``_hw`` is the high-water
             # slot count: every vector op runs over ``[:_hw]`` and freed
@@ -459,7 +464,16 @@ class FluidScheduler:
             self._rebalance()
 
     def settle(self) -> None:
-        """Advance all active flows' progress to the current instant."""
+        """Advance all active flows' progress to the current instant.
+
+        A settle that advances the clock closes a *rate epoch*: every
+        caller settles before mutating rates (start/stop/set_cap/
+        set_capacity), so flow rates and resource loads were constant
+        over ``(last_settle, now]``.  The sampler hub is notified here —
+        with counters settled and the epoch's rates still in place — so
+        backfill channels can materialize all sample points in the epoch
+        analytically (:mod:`repro.sim.sampling`).
+        """
         now = self.sim.now
         elapsed = now - self._last_settle
         if elapsed <= 0:
@@ -470,6 +484,9 @@ class FluidScheduler:
         else:
             self._settle_python(elapsed)
         self._last_settle = now
+        hub = self._hub
+        if hub._channels:
+            hub.on_epoch(now)
 
     @property
     def active_flows(self) -> tuple[FluidFlow, ...]:

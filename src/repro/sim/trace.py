@@ -13,6 +13,7 @@ from typing import Any, Callable, Iterator, Optional
 import numpy as np
 
 from repro.sim.engine import Simulator
+from repro.sim.sampling import hub_for
 
 __all__ = ["TimeSeries", "ThroughputProbe", "EventRateProbe", "TraceLog", "periodic"]
 
@@ -31,6 +32,30 @@ class TimeSeries:
             raise ValueError(f"time went backwards in series {self.name!r}")
         self.times.append(t)
         self.values.append(v)
+
+    def record_many(self, times: Any, values: Any) -> None:
+        """Append a batch of entries (the backfill sampler's bulk path).
+
+        ``times`` must be non-decreasing and start no earlier than the
+        last recorded time; both inputs are flat array-likes of equal
+        length.  Semantically identical to calling :meth:`record` in a
+        loop, but the monotonicity check is vectorized.
+        """
+        ts = np.asarray(times, dtype=float)
+        vs = np.asarray(values, dtype=float)
+        if ts.ndim != 1 or ts.shape != vs.shape:
+            raise ValueError(
+                f"record_many needs equal-length 1-D arrays, got "
+                f"{ts.shape} and {vs.shape}"
+            )
+        if ts.size == 0:
+            return
+        if (ts.size > 1 and np.any(np.diff(ts) < 0)) or (
+            self.times and ts[0] < self.times[-1]
+        ):
+            raise ValueError(f"time went backwards in series {self.name!r}")
+        self.times.extend(ts.tolist())
+        self.values.extend(vs.tolist())
 
     def __len__(self) -> int:
         return len(self.times)
@@ -108,6 +133,15 @@ class ThroughputProbe:
     ``counter`` is any zero-argument callable returning cumulative bytes
     (e.g. a closure over ``flow.transferred``, possibly summing several
     flows).  Each sample records the average rate over the last interval.
+
+    The probe is a thin veneer over a :class:`~repro.sim.sampling.Channel`
+    declared on the simulator's :class:`~repro.sim.sampling.SamplerHub`:
+    under the default ``backfill`` backend sample points are materialized
+    analytically at fluid-epoch boundaries (zero heap events), while
+    ``sampler="event"`` runs the classic per-tick generator process.
+    ``pre_sample`` (e.g. ``scheduler.settle``) runs before each per-tick
+    sample under the event backend; the backfill backend settles as part
+    of epoch handling and does not need it.
     """
 
     def __init__(
@@ -117,28 +151,29 @@ class ThroughputProbe:
         interval: float = 1.0,
         name: str = "",
         pre_sample: Optional[Callable[[], None]] = None,
+        sampler: Optional[str] = None,
     ):
         self.sim = sim
         self.counter = counter
         self.interval = interval
         self.series = TimeSeries(name=name or "throughput")
-        self._last_total = 0.0
-        self._pre_sample = pre_sample
-        self._proc = periodic(sim, interval, self._sample)
+        self._channel = hub_for(sim).channel(
+            counter, interval, self.series, kind="rate",
+            mode=sampler, pre_sample=pre_sample,
+        )
 
-    def _sample(self, now: float) -> None:
-        if self._pre_sample is not None:
-            self._pre_sample()
-        total = self.counter()
-        rate = (total - self._last_total) / self.interval
-        self._last_total = total
-        self.series.record(now, rate)
+    @property
+    def sampler(self) -> str:
+        """The backend this probe runs under (``backfill`` or ``event``)."""
+        return self._channel.mode
+
+    def flush(self) -> None:
+        """Materialize every sample due up to the current instant."""
+        self._channel.flush()
 
     def stop(self) -> TimeSeries:
         """Stop the activity; returns/flushes what it accumulated."""
-        if self._proc.is_alive:
-            self._proc.interrupt("probe stopped")
-        return self.series
+        return self._channel.stop()
 
 
 class EventRateProbe:
@@ -148,25 +183,38 @@ class EventRateProbe:
     *simulated* second over the last interval — the kernel-load view that
     pairs with :class:`ThroughputProbe`'s byte view.  Reads the
     :class:`~repro.sim.engine.SimStats` counters maintained by the engine.
+
+    This is kernel *self*-measurement, so the series depends on the
+    sampler backend by construction: under ``event`` each tick is itself
+    an event and contributes to the counts it samples, while ``backfill``
+    schedules no ticks and linearly interpolates the dynamics-only event
+    count across each fluid epoch.  Cross-backend comparisons should use
+    fluid-driven series (throughput, CPU, utilization) instead.
     """
 
-    def __init__(self, sim: Simulator, interval: float = 1.0, name: str = ""):
+    def __init__(self, sim: Simulator, interval: float = 1.0, name: str = "",
+                 sampler: Optional[str] = None):
         self.sim = sim
         self.interval = interval
         self.series = TimeSeries(name=name or "events/s")
-        self._last_processed = sim.stats.events_processed
-        self._proc = periodic(sim, interval, self._sample)
+        stats = sim.stats
+        self._channel = hub_for(sim).channel(
+            lambda: float(stats.events_processed), interval, self.series,
+            kind="rate", mode=sampler,
+        )
 
-    def _sample(self, now: float) -> None:
-        processed = self.sim.stats.events_processed
-        self.series.record(now, (processed - self._last_processed) / self.interval)
-        self._last_processed = processed
+    @property
+    def sampler(self) -> str:
+        """The backend this probe runs under (``backfill`` or ``event``)."""
+        return self._channel.mode
+
+    def flush(self) -> None:
+        """Materialize every sample due up to the current instant."""
+        self._channel.flush()
 
     def stop(self) -> TimeSeries:
         """Stop the activity; returns/flushes what it accumulated."""
-        if self._proc.is_alive:
-            self._proc.interrupt("probe stopped")
-        return self.series
+        return self._channel.stop()
 
 
 @dataclass(frozen=True)

@@ -35,6 +35,8 @@ def test_stats_start_at_zero():
         "events_processed": 0,
         "heap_peak": 0,
         "timeouts_reused": 0,
+        "samples_backfilled": 0,
+        "events_skipped": 0,
         "wall_seconds": 0.0,
     }
 
@@ -201,6 +203,14 @@ def test_host_monitor_samples_event_rate_and_snapshots():
     monitor = HostMonitor(m, interval=1.0)
     flow = FluidFlow([(m.mem_bank(0).bandwidth, 1.0)], size=None, name="burn")
     ctx.fluid.start(flow)
+
+    def ticker():
+        # Kernel self-measurement needs actual kernel events: the backfill
+        # sampler schedules none of its own, so drive some dynamics.
+        while True:
+            yield ctx.sim.timeout(0.25)
+
+    ctx.sim.process(ticker())
     ctx.sim.run(until=5.0)
     assert len(monitor.events) == 5
     assert sum(monitor.events.values) > 0
