@@ -8,6 +8,7 @@ Usage::
     python -m repro report [-o FILE]     # regenerate EXPERIMENTS.md
     python -m repro report -j 4          # ... fanned across 4 worker processes
     python -m repro run fig09 --full     # paper-scale durations
+    python -m repro run fig09 --faults "link-down@link:1,at=5,duration=2"
 
 Exit status is non-zero if any paper-anchored check diverges.
 
@@ -48,8 +49,31 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _apply_faults_flag(args) -> int:
+    """Export ``--faults`` as REPRO_FAULTS (inherited by worker processes).
+
+    Validates the spec up front so a typo fails fast with a parse error
+    instead of surfacing from inside a worker mid-run.
+    """
+    spec = getattr(args, "faults", None)
+    if spec is None:
+        return 0
+    from repro.faults.plan import REPRO_FAULTS_ENV, FaultPlan
+
+    try:
+        FaultPlan.parse(spec)
+    except ValueError as exc:
+        print(f"bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    os.environ[REPRO_FAULTS_ENV] = spec
+    return 0
+
+
 def cmd_run(args) -> int:
     """Run one experiment (or all) and print its report."""
+    rc = _apply_faults_flag(args)
+    if rc:
+        return rc
     mods = _all_modules()
     names = list(mods) if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in mods]
@@ -74,6 +98,9 @@ def cmd_run(args) -> int:
 
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
+    rc = _apply_faults_flag(args)
+    if rc:
+        return rc
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     stats: dict = {}
 
@@ -111,6 +138,14 @@ def cmd_report(args) -> int:
         print(f"[sampler] backend={sampler['backend']}  "
               f"samples_backfilled={sampler['samples_backfilled']}  "
               f"events_skipped={sampler['events_skipped']}")
+    faults = stats.get("faults")
+    if faults is not None:
+        plan_note = "ambient" if faults.get("plan") else "none"
+        print(f"[faults] plan={plan_note}  "
+              f"injected={faults['faults_injected']}  "
+              f"retransmitted_bytes={faults['retransmitted_bytes']:.0f}  "
+              f"reconnects={faults['reconnects']}  "
+              f"recovery_seconds={faults['recovery_seconds']:.2f}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
@@ -137,6 +172,15 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
         "(0 = one per CPU core; default: 1, fully serial)")
 
 
+def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject faults into every simulation context: a "
+        "semicolon-separated plan like "
+        "'link-down@link:1,at=5,duration=2' (sets REPRO_FAULTS; part "
+        "of the result-cache identity; see docs/MODELING.md section 9)")
+
+
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = argparse.ArgumentParser(
@@ -160,6 +204,7 @@ def main(argv=None) -> int:
                        "time); also enabled by REPRO_FULL=1")
     p_run.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_run)
+    _add_faults_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
@@ -176,6 +221,7 @@ def main(argv=None) -> int:
                        "REPRO_FULL=1")
     p_rep.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_rep)
+    _add_faults_flag(p_rep)
     p_rep.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="directory of the content-addressed result cache "

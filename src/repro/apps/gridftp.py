@@ -12,6 +12,12 @@ The paper attributes GridFTP's 29 Gbps (vs RFTP's 91) to three causes
    multiple processes recovers parallelism at higher CPU cost;
 3. **no direct I/O** — file access goes through the page cache, adding
    a copy per byte on each host.
+
+Under fault injection (:mod:`repro.faults`) GridFTP keeps its naive
+stall-until-restore behaviour deliberately: a mover whose link dies
+blocks in the kernel until the route returns, and nothing reclaims its
+share — the baseline contrast for RFTP's multi-rail failover in the
+``ext_recovery`` experiment.
 """
 
 from __future__ import annotations

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional, Union
 
+from repro.faults.injector import faults_active
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryConfig
 from repro.fs.vfs import FileSystem
 from repro.hw.nic import Nic
 from repro.hw.topology import Machine
@@ -68,6 +70,12 @@ class RftpConfig:
     credits: Optional[int] = None  # default: calibration constant
     direct_io: bool = True
     numa_tuned: bool = True  # numactl binding per NIC-local node
+    #: Recover from injected faults (retransmit, reconnect, fail over).
+    #: Only engages when the context has an active fault injector and the
+    #: transfer is open-ended; False gives stall-until-restore behaviour.
+    recover: bool = True
+    #: Timeout/backoff policy; None uses the stack default.
+    recovery: Optional[RecoveryConfig] = None
 
     def __post_init__(self):
         check_positive("block_size", self.block_size)
@@ -86,6 +94,11 @@ class RftpResult:
     receiver_accounting: CpuAccounting
     series: Optional[TimeSeries] = None
     per_link_bytes: Dict[str, float] = field(default_factory=dict)
+    # -- fault-recovery counters (all zero on fault-free runs) --
+    retransmitted_bytes: float = 0.0
+    reconnects: int = 0
+    streams_failed: int = 0
+    recovery_seconds: float = 0.0
 
     @property
     def goodput(self) -> float:
@@ -104,6 +117,32 @@ class RftpResult:
             k: 100.0 * v / self.duration
             for k, v in acc.seconds_by_category().items()
         }
+
+
+class _LinkRail:
+    """Per-link runtime state: one rail of the multi-NIC transfer."""
+
+    __slots__ = ("li", "sn", "rn", "qp_s", "load_t", "sproto_t", "rproto_t",
+                 "offload_t", "nst", "flows", "caps", "generation", "alive",
+                 "gave_up", "supervising")
+
+    def __init__(self, li, sn, rn, qp_s, load_t, sproto_t, rproto_t,
+                 offload_t, nst):
+        self.li = li
+        self.sn = sn
+        self.rn = rn
+        self.qp_s = qp_s
+        self.load_t = load_t
+        self.sproto_t = sproto_t
+        self.rproto_t = rproto_t
+        self.offload_t = offload_t
+        self.nst = nst
+        self.flows: List[FluidFlow] = []  # current generation only
+        self.caps: Dict[FluidFlow, tuple] = {}  # flow -> (stage_cap, credit_cap)
+        self.generation = 0
+        self.alive = True
+        self.gave_up = False
+        self.supervising = False
 
 
 def _roce_nics(machine: Machine) -> List[Nic]:
@@ -141,6 +180,18 @@ class RftpTransfer:
         self._send_threads: List[SimThread] = []
         self._recv_threads: List[SimThread] = []
         self._started = False
+        self._stopped = False
+        # -- fault-recovery state (inert unless an injector is active) --
+        self._rails: List[_LinkRail] = []
+        self._rail_by_link: Dict[object, _LinkRail] = {}
+        self._fault_mode = False
+        self._credits = 0
+        self._size: Optional[float] = None
+        self._lost_bytes = 0.0
+        self.retransmitted_bytes = 0.0
+        self.reconnects = 0
+        self.streams_failed = 0
+        self.recovery_seconds = 0.0
         self.ready = ctx.sim.event(name=f"{name}/ready")
         self.s_nics = _roce_nics(sender)
         self.r_nics = [n.link.peer(n) for n in self.s_nics]
@@ -224,13 +275,18 @@ class RftpTransfer:
         self._started = True
         cal = self.ctx.cal
         cfg = self.config
-        bs = cfg.block_size
         credits = cfg.credits if cfg.credits is not None else cal.rftp_credits_per_stream
+        self._credits = credits
+        self._size = size
         n_streams_total = len(self.s_nics) * cfg.streams_per_link
         cm = ConnectionManager(self.ctx)
 
+        # Recovery only engages for open-ended runs under an active
+        # injector; otherwise every code path below is the classic one.
+        inj = faults_active(self.ctx)
+        self._fault_mode = inj is not None and cfg.recover and size is None
+
         handshakes = []
-        per_link = []
         for li, (sn, rn) in enumerate(zip(self.s_nics, self.r_nics)):
             qp_s, qp_r, hs = cm.connect_pair(sn, rn, name=f"{self.name}-l{li}")
             handshakes.append(hs)
@@ -244,55 +300,263 @@ class RftpTransfer:
             offload_t = rproc.spawn_thread(f"{self.name}-offload{li}")
             self._send_threads += [load_t, sproto_t]
             self._recv_threads += [rproto_t, offload_t]
-            per_link.append((li, sn, rn, qp_s, load_t, sproto_t, rproto_t, offload_t,
-                             n_streams_total))
+            rail = _LinkRail(li, sn, rn, qp_s, load_t, sproto_t, rproto_t,
+                             offload_t, n_streams_total)
+            self._rails.append(rail)
+            self._rail_by_link[sn.link] = rail
+
+        if self._fault_mode:
+            inj.add_transfer(self.name, self)
 
         def launch():
             for hs in handshakes:
                 yield hs
-            for (li, sn, rn, qp_s, load_t, sproto_t, rproto_t, offload_t,
-                 nst) in per_link:
-                # pipelined stages: min of caps, all resources on one path
-                sproto = self._proto_spec(sproto_t)
-                rproto = self._proto_spec(rproto_t)
-
-                if cfg.numa_tuned:
-                    s_fracs = {sn.node: 1.0}
-                    r_fracs = {rn.node: 1.0}
-                else:
-                    s_fracs = {n: 1.0 / self.sender.n_nodes
-                               for n in range(self.sender.n_nodes)}
-                    r_fracs = {n: 1.0 / self.receiver.n_nodes
-                               for n in range(self.receiver.n_nodes)}
-                wire = rdma_fluid_path(qp_s, Opcode.RDMA_WRITE, s_fracs, r_fracs)
-                # per-block control messages share the wire with the payload
-                ctrl_overhead = cal.rftp_ctrl_bytes_per_block / bs
-                wire = [(r, w * (1.0 + ctrl_overhead)) for r, w in wire]
-
-                link_rtt = sn.link.rtt + 2 * cal.rdma_op_latency
-                for s in range(cfg.streams_per_link):
-                    stream_index = li * cfg.streams_per_link + s
-                    load = self._load_spec(load_t, nst, stream_index)
-                    offload = self._offload_spec(offload_t, nst, stream_index)
-                    spec = merge_paths(load, sproto, rproto, offload)
-                    spec.path.extend(wire)
-                    # per-stream share of the pipelined stage caps
-                    if spec.cap is not None and cfg.streams_per_link > 1:
-                        spec.cap /= cfg.streams_per_link
-                    spec.with_cap(credits * bs / link_rtt)
-                    flow = FluidFlow(
-                        spec.path,
-                        size=None if size is None else size / n_streams_total,
-                        cap=spec.cap,
-                        charges=spec.charges,
-                        name=f"{self.name}-l{li}s{s}",
-                    )
-                    self.ctx.fluid.start(flow)
-                    self.flows.append(flow)
+            for rail in self._rails:
+                self._build_flows(rail)
             self.ready.succeed(tuple(self.flows))
 
         self.ctx.sim.process(launch(), name=f"{self.name}/launch")
         return self.flows
+
+    def _build_flows(self, rail: _LinkRail) -> None:
+        """Create and start rail's per-stream flows (initial or rebuilt).
+
+        Deterministic pure-Python spec assembly: safe to call again on
+        reconnect (generation > 0 names keep the per-link prefix).
+        """
+        cal = self.ctx.cal
+        cfg = self.config
+        bs = cfg.block_size
+        credits = self._credits
+        sn, rn = rail.sn, rail.rn
+        # pipelined stages: min of caps, all resources on one path
+        sproto = self._proto_spec(rail.sproto_t)
+        rproto = self._proto_spec(rail.rproto_t)
+
+        if cfg.numa_tuned:
+            s_fracs = {sn.node: 1.0}
+            r_fracs = {rn.node: 1.0}
+        else:
+            s_fracs = {n: 1.0 / self.sender.n_nodes
+                       for n in range(self.sender.n_nodes)}
+            r_fracs = {n: 1.0 / self.receiver.n_nodes
+                       for n in range(self.receiver.n_nodes)}
+        wire = rdma_fluid_path(rail.qp_s, Opcode.RDMA_WRITE, s_fracs, r_fracs)
+        # per-block control messages share the wire with the payload
+        ctrl_overhead = cal.rftp_ctrl_bytes_per_block / bs
+        wire = [(r, w * (1.0 + ctrl_overhead)) for r, w in wire]
+
+        link_rtt = sn.link.rtt + 2 * cal.rdma_op_latency
+        rail.flows = []
+        rail.caps = {}
+        gen = f"r{rail.generation}" if rail.generation else ""
+        for s in range(cfg.streams_per_link):
+            stream_index = rail.li * cfg.streams_per_link + s
+            load = self._load_spec(rail.load_t, rail.nst, stream_index)
+            offload = self._offload_spec(rail.offload_t, rail.nst, stream_index)
+            spec = merge_paths(load, sproto, rproto, offload)
+            spec.path.extend(wire)
+            # per-stream share of the pipelined stage caps
+            if spec.cap is not None and cfg.streams_per_link > 1:
+                spec.cap /= cfg.streams_per_link
+            stage_cap = spec.cap
+            credit_cap = credits * bs / link_rtt
+            spec.with_cap(credit_cap)
+            flow = FluidFlow(
+                spec.path,
+                size=None if self._size is None else self._size / rail.nst,
+                cap=spec.cap,
+                charges=spec.charges,
+                name=f"{self.name}-l{rail.li}s{s}{gen}",
+            )
+            self.ctx.fluid.start(flow)
+            self.flows.append(flow)
+            rail.flows.append(flow)
+            if self._fault_mode:
+                rail.caps[flow] = (stage_cap, credit_cap)
+
+    # -- fault recovery ------------------------------------------------------------
+    # The hooks below are only ever invoked by an active FaultInjector
+    # (registered via add_transfer); on fault-free runs none of this
+    # executes and the transfer behaves exactly as before.
+    @property
+    def _recovery(self) -> RecoveryConfig:
+        return self.config.recovery or DEFAULT_RECOVERY
+
+    def _boost(self) -> float:
+        """Credit multiplier: dead rails' windows reassigned to survivors."""
+        alive = sum(1 for rail in self._rails if rail.alive)
+        return len(self._rails) / alive if alive else 1.0
+
+    def _apply_boost(self) -> None:
+        boost = self._boost()
+        fluid = self.ctx.fluid
+        for rail in self._rails:
+            if not rail.alive:
+                continue
+            for flow in rail.flows:
+                if not flow._active:
+                    continue
+                stage_cap, credit_cap = rail.caps[flow]
+                cap = credit_cap * boost
+                if stage_cap is not None and stage_cap < cap:
+                    cap = stage_cap
+                fluid.set_cap(flow, cap)
+
+    def _kill_streams(self, rail: _LinkRail) -> None:
+        """Declare a rail's streams dead; account their in-flight windows.
+
+        Blocks inside the credit window were unacknowledged when the
+        rail died, so they are retransmitted after recovery: goodput is
+        debited (``_lost_bytes``) and the retransmit counters charged.
+        """
+        inj = self.ctx.faults
+        window = (self._recovery.window_loss_fraction
+                  * self._credits * self.config.block_size)
+        fluid = self.ctx.fluid
+        for flow in rail.flows:
+            delivered = fluid.stop(flow) if flow._active else flow.transferred
+            lost = window if window < delivered else delivered
+            self._lost_bytes += lost
+            self.retransmitted_bytes += lost
+            self.streams_failed += 1
+            inj.stats.count_retransmit(lost)
+            inj.stats.count_stream_failed()
+        rail.alive = False
+
+    def _account_loss(self, rail: _LinkRail, fraction: float) -> None:
+        """A loss burst: *fraction* of each stream's window is resent."""
+        inj = self.ctx.faults
+        # close the open rate epoch so flow.transferred is current
+        self.ctx.fluid.settle()
+        window = fraction * self._credits * self.config.block_size
+        for flow in rail.flows:
+            lost = window if window < flow.transferred else flow.transferred
+            self._lost_bytes += lost
+            self.retransmitted_bytes += lost
+            inj.stats.count_retransmit(lost)
+
+    def _reconnect(self, rail: _LinkRail, t_down: float):
+        """Pay the CM handshake, rebuild the rail, release the boost."""
+        inj = self.ctx.faults
+        link = rail.sn.link
+        yield self.ctx.sim.timeout(3 * link.delay + inj.handshake_delay(link))
+        if self._stopped or link.failed:
+            return False
+        rail.generation += 1
+        rail.alive = True
+        rail.gave_up = False
+        self._build_flows(rail)
+        self._apply_boost()
+        dt = self.ctx.sim.now - t_down
+        self.reconnects += 1
+        self.recovery_seconds += dt
+        inj.stats.count_reconnect(dt)
+        self.ctx.trace.emit("fault", "reconnected", link=link.name,
+                            transfer=self.name, recovery_seconds=dt)
+        return True
+
+    def _supervise(self, rail: _LinkRail, permanent: bool,
+                   qp_error: bool = False):
+        """Detect a dead rail, reclaim its credits, and try to reconnect."""
+        rec = self._recovery
+        inj = self.ctx.faults
+        sim = self.ctx.sim
+        link = rail.sn.link
+        t_down = sim.now
+        if not qp_error:
+            if rec.detect_timeout > 0.0:
+                yield sim.timeout(rec.detect_timeout)
+            if self._stopped or not rail.alive:
+                rail.supervising = False
+                return
+            if not link.failed:
+                # a blip shorter than the block-ack timeout: just a stall
+                rail.supervising = False
+                return
+        self._kill_streams(rail)
+        self._apply_boost()
+        attempt = 0
+        while not self._stopped:
+            if permanent or attempt >= rec.retransmit_budget:
+                rail.gave_up = True
+                inj.stats.count_giveup()
+                break
+            yield sim.timeout(rec.backoff(attempt))
+            attempt += 1
+            if self._stopped:
+                break
+            if not link.failed:
+                ok = yield from self._reconnect(rail, t_down)
+                if ok:
+                    break
+        rail.supervising = False
+
+    def on_link_down(self, link, permanent: bool) -> None:
+        """Injector hook: a rail's link went dark."""
+        rail = self._rail_by_link.get(link)
+        if (rail is None or not rail.alive or rail.supervising
+                or self._stopped):
+            return
+        rail.supervising = True
+        self.ctx.sim.process(
+            self._supervise(rail, permanent),
+            name=f"{self.name}/recover-l{rail.li}",
+        )
+
+    def on_link_up(self, link) -> None:
+        """Injector hook: a given-up rail's link came back — re-attach."""
+        rail = self._rail_by_link.get(link)
+        if (rail is None or rail.alive or not rail.gave_up
+                or rail.supervising or self._stopped):
+            return
+        rail.supervising = True
+
+        def reattach():
+            yield self.ctx.sim.timeout(self._recovery.backoff_base)
+            if not self._stopped and not link.failed and not rail.alive:
+                yield from self._reconnect(rail, self.ctx.sim.now)
+            rail.supervising = False
+
+        self.ctx.sim.process(reattach(), name=f"{self.name}/reattach-l{rail.li}")
+
+    def on_loss(self, link, fraction: float) -> None:
+        """Injector hook: loss burst — part of the window is retransmitted."""
+        rail = self._rail_by_link.get(link)
+        if rail is None or not rail.alive or self._stopped:
+            return
+        self._account_loss(rail, fraction)
+
+    def on_qp_error(self, link) -> None:
+        """Injector hook: QP async error — tear down and reconnect now."""
+        rail = self._rail_by_link.get(link)
+        if (rail is None or not rail.alive or rail.supervising
+                or self._stopped):
+            return
+        rail.supervising = True
+        self.ctx.sim.process(
+            self._supervise(rail, permanent=False, qp_error=True),
+            name=f"{self.name}/qp-recover-l{rail.li}",
+        )
+
+    def on_crash(self, restart_delay: float) -> None:
+        """Injector hook: process crash — all rails die, restart later."""
+        if self._stopped:
+            return
+
+        def crash():
+            t_down = self.ctx.sim.now
+            for rail in self._rails:
+                if rail.alive and not rail.supervising:
+                    self._kill_streams(rail)
+            yield self.ctx.sim.timeout(restart_delay)
+            for rail in self._rails:
+                if (self._stopped or rail.alive or rail.supervising
+                        or rail.sn.link.failed):
+                    continue
+                yield from self._reconnect(rail, t_down)
+
+        self.ctx.sim.process(crash(), name=f"{self.name}/crash")
 
     def transferred(self) -> float:
         """Total bytes moved so far across all streams.
@@ -305,10 +569,17 @@ class RftpTransfer:
         total = 0.0
         for f in self.flows:
             total += f.transferred
+        lost = self._lost_bytes
+        if lost:
+            # retransmitted windows crossed the wire but are not goodput
+            total -= lost
+            if total < 0.0:
+                total = 0.0
         return total
 
     def stop(self) -> float:
         """Stop the activity; returns/flushes what it accumulated."""
+        self._stopped = True
         total = 0.0
         for f in self.flows:
             if f._active:
@@ -352,4 +623,8 @@ class RftpTransfer:
             receiver_accounting=self._ledger(self._recv_threads, "rftp-rcv"),
             series=series,
             per_link_bytes=per_link,
+            retransmitted_bytes=self.retransmitted_bytes,
+            reconnects=self.reconnects,
+            streams_failed=self.streams_failed,
+            recovery_seconds=self.recovery_seconds,
         )

@@ -26,7 +26,9 @@ ablation_*          design-choice studies A1-A11 (§4.1-4.3 asides,
                     latency-vs-load)
 ext_*               claims the paper could not test: E1 storage-to-
                     storage over the WAN, E2 calibration sensitivity,
-                    E3 file-size-mix penalty
+                    E3 file-size-mix penalty, E4 the 100 GbE upgrade
+                    path, E5 goodput under faults (RFTP recovery vs
+                    GridFTP stall)
 ==================  ==============================================
 """
 
@@ -58,6 +60,7 @@ from repro.core.experiments import (  # noqa: F401 (re-exported for discovery)
     exp_table1,
     ext_100g,
     ext_filesize_mix,
+    ext_recovery,
     ext_sensitivity,
     ext_wan_e2e,
 )
@@ -67,6 +70,7 @@ ALL_EXTENSIONS = {
     "sensitivity": ext_sensitivity,
     "filesize-mix": ext_filesize_mix,
     "100g": ext_100g,
+    "recovery": ext_recovery,
 }
 
 ALL_ABLATIONS = {

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SimTask"]
 
 #: Bump when the on-disk cache entry layout changes (invalidates all keys).
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4
 
 
 def _canonical(obj: Any) -> Any:
@@ -95,8 +95,12 @@ class SimTask:
         (and the ledger is byte-identical today), but a cache entry must
         never outlive the question of *which* kernel produced it —
         switching ``REPRO_FLUID_SOLVER`` or ``REPRO_SAMPLER`` recomputes
-        rather than replays.
+        rather than replays.  So is the ambient ``REPRO_FAULTS`` plan
+        (canonical JSON; "" when unset): cached legs must never mix
+        fault configurations, and an unset plan keys identically to the
+        pre-fault-subsystem behaviour it is byte-identical to.
         """
+        from repro.faults.plan import ambient_spec
         from repro.sim.fluid import default_solver
         from repro.sim.sampling import default_sampler
 
@@ -108,6 +112,7 @@ class SimTask:
                 "cal": _canonical(self.cal),
                 "solver": default_solver(),
                 "sampler": default_sampler(),
+                "faults": ambient_spec(),
                 "v": CACHE_FORMAT_VERSION,
             },
             sort_keys=True,

@@ -1,0 +1,41 @@
+"""Deterministic fault injection and the recovery policy that answers it.
+
+``repro.faults`` adds the missing half of the paper's WAN story: what
+the modeled stack does when the fabric misbehaves.  A
+:class:`~repro.faults.plan.FaultPlan` declares typed faults (link
+outages and flaps, degradation, loss bursts, NIC failures, QP/CM
+errors, iSER target stalls, SSD latency spikes, process crashes); the
+:class:`~repro.faults.injector.FaultInjector` drives them through
+ordinary simulator events so runs stay bit-reproducible per seed; and
+:class:`~repro.faults.recovery.RecoveryConfig` parameterises how the
+RFTP engine retransmits, reconnects, and fails over.
+
+Attach a plan ambiently with ``REPRO_FAULTS`` / ``--faults`` (every
+:meth:`~repro.sim.context.Context.create` then wires an injector), or
+explicitly with ``FaultInjector(ctx, FaultPlan.parse(spec))``.
+"""
+
+from repro.faults.injector import FaultInjector, FaultStats, faults_active
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    REPRO_FAULTS_ENV,
+    ambient_plan,
+    ambient_spec,
+)
+from repro.faults.recovery import DEFAULT_RECOVERY, RecoveryConfig
+
+__all__ = [
+    "DEFAULT_RECOVERY",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultStats",
+    "RecoveryConfig",
+    "REPRO_FAULTS_ENV",
+    "ambient_plan",
+    "ambient_spec",
+    "faults_active",
+]

@@ -1,0 +1,309 @@
+"""The fault injector: turns a :class:`FaultPlan` into simulator events.
+
+One :class:`FaultInjector` attaches to a :class:`~repro.sim.context.Context`
+(``ctx.faults``).  Fault-capable components register themselves as they
+are constructed — links, SSDs, iSER targets, transfers — and the
+injector drives the plan's occurrences through ordinary simulation
+events, so fault timing is part of the deterministic event order and
+runs stay bit-reproducible per seed (randomized jitter draws from the
+context's ``"faults"`` RNG stream).
+
+An injector with an **empty** plan schedules nothing and applies
+nothing: components see ``injector.active == False`` and take their
+fault-free fast paths, so an empty plan is behaviourally (and
+byte-for-byte) identical to having no injector at all — the property
+the differential tests in ``tests/test_fault_injection.py`` pin down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, FaultSpec
+
+__all__ = ["FaultInjector", "FaultStats", "faults_active"]
+
+
+class FaultStats:
+    """Counters for injected faults and the recoveries they triggered.
+
+    The class attributes with the same names aggregate across **all**
+    injectors ever created in this process (mirroring
+    :class:`~repro.sim.fluid.FluidStats`), so report footers can show
+    fault telemetry without a handle on every context.
+    """
+
+    __slots__ = (
+        "faults_injected", "unresolved", "retransmitted_bytes",
+        "streams_failed", "reconnects", "giveups", "recovery_seconds",
+    )
+
+    #: Process-global totals across all injectors (class-level).
+    total_faults_injected = 0
+    total_unresolved = 0
+    total_retransmitted_bytes = 0.0
+    total_streams_failed = 0
+    total_reconnects = 0
+    total_giveups = 0
+    total_recovery_seconds = 0.0
+
+    def __init__(self) -> None:
+        self.faults_injected = 0
+        self.unresolved = 0
+        self.retransmitted_bytes = 0.0
+        self.streams_failed = 0
+        self.reconnects = 0
+        self.giveups = 0
+        self.recovery_seconds = 0.0
+
+    # Increment helpers keep the instance counter and the process-global
+    # class total in lockstep (single call site per event kind).
+    def count_injected(self) -> None:
+        self.faults_injected += 1
+        FaultStats.total_faults_injected += 1
+
+    def count_unresolved(self) -> None:
+        self.unresolved += 1
+        FaultStats.total_unresolved += 1
+
+    def count_retransmit(self, nbytes: float) -> None:
+        self.retransmitted_bytes += nbytes
+        FaultStats.total_retransmitted_bytes += nbytes
+
+    def count_stream_failed(self) -> None:
+        self.streams_failed += 1
+        FaultStats.total_streams_failed += 1
+
+    def count_reconnect(self, recovery_seconds: float) -> None:
+        self.reconnects += 1
+        self.recovery_seconds += recovery_seconds
+        FaultStats.total_reconnects += 1
+        FaultStats.total_recovery_seconds += recovery_seconds
+
+    def count_giveup(self) -> None:
+        self.giveups += 1
+        FaultStats.total_giveups += 1
+
+    @classmethod
+    def process_totals(cls) -> dict:
+        """The process-global counters as a plain dict."""
+        return {
+            "faults_injected": cls.total_faults_injected,
+            "unresolved": cls.total_unresolved,
+            "retransmitted_bytes": cls.total_retransmitted_bytes,
+            "streams_failed": cls.total_streams_failed,
+            "reconnects": cls.total_reconnects,
+            "giveups": cls.total_giveups,
+            "recovery_seconds": cls.total_recovery_seconds,
+        }
+
+    def as_dict(self) -> dict:
+        """The counters as a plain dict (for reports and JSON)."""
+        return {
+            "faults_injected": self.faults_injected,
+            "unresolved": self.unresolved,
+            "retransmitted_bytes": self.retransmitted_bytes,
+            "streams_failed": self.streams_failed,
+            "reconnects": self.reconnects,
+            "giveups": self.giveups,
+            "recovery_seconds": self.recovery_seconds,
+        }
+
+
+def faults_active(ctx) -> "Optional[FaultInjector]":
+    """The context's injector, iff it is attached with a non-empty plan."""
+    inj = getattr(ctx, "faults", None)
+    return inj if inj is not None and inj.active else None
+
+
+class FaultInjector:
+    """Applies a :class:`FaultPlan` to the components of one context."""
+
+    def __init__(self, ctx, plan: FaultPlan):
+        if getattr(ctx, "faults", None) is not None:
+            raise RuntimeError("context already has a fault injector attached")
+        self.ctx = ctx
+        self.plan = plan
+        self.stats = FaultStats()
+        # Registration order defines index selectors (``link:1``).
+        self.links: List = []
+        self.ssds: List = []
+        self.targets: List = []
+        self.transfers: List[Tuple[str, object]] = []
+        self._cm_penalty: Dict[int, Tuple[float, float]] = {}  # id(link) -> (until, s)
+        self._rng = None
+        ctx.faults = self
+        if not plan.empty:
+            for spec in plan.specs:
+                ctx.sim.process(
+                    self._drive(spec), name=f"faults/{spec.kind}@{spec.target}"
+                )
+
+    @property
+    def active(self) -> bool:
+        """True when the plan schedules at least one fault."""
+        return not self.plan.empty
+
+    # -- component registration (constructors call these) --------------------------
+    def add_link(self, link) -> None:
+        """Register a link in context creation order."""
+        self.links.append(link)
+
+    def add_ssd(self, dev) -> None:
+        """Register an SSD device."""
+        self.ssds.append(dev)
+
+    def add_target(self, target) -> None:
+        """Register an iSER target."""
+        self.targets.append(target)
+
+    def add_transfer(self, name: str, listener) -> None:
+        """Register a recovery-capable transfer as a fault listener.
+
+        *listener* may implement any of ``on_link_down(link, permanent)``,
+        ``on_link_up(link)``, ``on_loss(link, fraction)``,
+        ``on_qp_error(link)`` and ``on_crash(restart_delay)``; missing
+        hooks are skipped.
+        """
+        self.transfers.append((name, listener))
+
+    # -- CM handshake penalties ----------------------------------------------------
+    def handshake_delay(self, link) -> float:
+        """Extra seconds a CM handshake over *link* pays right now."""
+        entry = self._cm_penalty.get(id(link))
+        if entry is not None and self.ctx.sim.now < entry[0]:
+            return entry[1]
+        return 0.0
+
+    # -- schedule driving ----------------------------------------------------------
+    def _jitter(self, spec: FaultSpec) -> float:
+        if spec.jitter <= 0.0:
+            return 0.0
+        if self._rng is None:
+            self._rng = self.ctx.rng.stream("faults")
+        return float(self._rng.exponential(spec.jitter))
+
+    def _drive(self, spec: FaultSpec):
+        sim = self.ctx.sim
+        when = spec.at
+        for _ in range(spec.count):
+            fire_at = when + self._jitter(spec)
+            if fire_at > sim.now:
+                yield sim.timeout(fire_at - sim.now)
+            self._apply(spec)
+            when += spec.period
+
+    # -- fault application ---------------------------------------------------------
+    def _resolve(self, spec: FaultSpec) -> list:
+        category = spec.category
+        sel = spec.selector
+        if category in ("link", "nic"):
+            pool = self.links
+        elif category == "ssd":
+            pool = self.ssds
+        elif category == "target":
+            pool = self.targets
+        else:  # transfer
+            if sel == "*":
+                return [lst for _, lst in self.transfers]
+            return [lst for nm, lst in self.transfers if nm == sel]
+        if sel == "*":
+            return list(pool)
+        if sel.isdigit():
+            idx = int(sel)
+            return [pool[idx]] if idx < len(pool) else []
+        return [c for c in pool if getattr(c, "name", None) == sel]
+
+    def _notify(self, hook: str, *args) -> None:
+        for _, listener in self.transfers:
+            fn = getattr(listener, hook, None)
+            if fn is not None:
+                fn(*args)
+
+    def _apply(self, spec: FaultSpec) -> None:
+        targets = self._resolve(spec)
+        if not targets:
+            self.stats.count_unresolved()
+            self.ctx.trace.emit("fault", "unresolved target",
+                                kind=spec.kind, target=spec.target)
+            return
+        for component in targets:
+            self.stats.count_injected()
+            self.ctx.trace.emit(
+                "fault", spec.kind,
+                target=getattr(component, "name", spec.target),
+                duration=spec.duration, magnitude=spec.magnitude,
+            )
+            getattr(self, "_apply_" + spec.kind.replace("-", "_"))(spec, component)
+
+    def _apply_link_down(self, spec: FaultSpec, link) -> None:
+        permanent = spec.duration <= 0.0
+        link.fail()
+        self._notify("on_link_down", link, permanent)
+        if not permanent:
+            self.ctx.sim.process(self._restore_link(link, spec.duration),
+                                 name=f"faults/restore-{link.name}")
+
+    def _apply_nic_down(self, spec: FaultSpec, link) -> None:
+        link.fail()
+        self._notify("on_link_down", link, True)
+
+    def _restore_link(self, link, duration: float):
+        yield self.ctx.sim.timeout(duration)
+        if link.failed:
+            link.restore()
+            self._notify("on_link_up", link)
+
+    def _apply_degrade(self, spec: FaultSpec, link) -> None:
+        link.degrade(spec.magnitude)
+        if spec.duration > 0.0:
+            self.ctx.sim.process(self._undegrade_link(link, spec.duration),
+                                 name=f"faults/undegrade-{link.name}")
+
+    def _undegrade_link(self, link, duration: float):
+        yield self.ctx.sim.timeout(duration)
+        link.degrade(1.0)
+
+    def _apply_loss(self, spec: FaultSpec, link) -> None:
+        self._notify("on_loss", link, spec.magnitude)
+
+    def _apply_qp_error(self, spec: FaultSpec, link) -> None:
+        self._notify("on_qp_error", link)
+
+    def _apply_cm_delay(self, spec: FaultSpec, link) -> None:
+        until = (self.ctx.sim.now + spec.duration
+                 if spec.duration > 0.0 else float("inf"))
+        self._cm_penalty[id(link)] = (until, spec.magnitude)
+
+    def _apply_target_stall(self, spec: FaultSpec, target) -> None:
+        # An unresponsive tgtd looks like dead fabric from the initiator:
+        # every link terminating on the target's machine goes down.
+        machine = target.machine
+        stalled = [ln for ln in self.links
+                   if ln.a.machine is machine or ln.b.machine is machine]
+        for link in stalled:
+            link.fail()
+            self._notify("on_link_down", link, spec.duration <= 0.0)
+            if spec.duration > 0.0:
+                self.ctx.sim.process(self._restore_link(link, spec.duration),
+                                     name=f"faults/restore-{link.name}")
+
+    def _apply_ssd_degrade(self, spec: FaultSpec, dev) -> None:
+        base = dev.throttled_rate if dev.throttled else dev.burst_rate
+        dev.bandwidth.set_capacity(base * spec.magnitude)
+        if spec.duration > 0.0:
+            self.ctx.sim.process(self._restore_ssd(dev, spec.duration),
+                                 name=f"faults/restore-{dev.name}")
+
+    def _restore_ssd(self, dev, duration: float):
+        yield self.ctx.sim.timeout(duration)
+        # Re-read the thermal state at restore time: a device that crossed
+        # its thermal budget during the spike comes back throttled.
+        dev.bandwidth.set_capacity(
+            dev.throttled_rate if dev.throttled else dev.burst_rate
+        )
+
+    def _apply_crash(self, spec: FaultSpec, listener) -> None:
+        fn = getattr(listener, "on_crash", None)
+        if fn is not None:
+            fn(spec.duration)

@@ -43,14 +43,18 @@ class Link:
             if rate_override is not None
             else min(a.data_rate(), b.data_rate())
         )
-        sched = a.machine.ctx.fluid
+        ctx = a.machine.ctx
         self._nominal_rate = rate
-        self._ab = FluidResource(sched, rate, f"{self.name}/a->b")
-        self._ba = FluidResource(sched, rate, f"{self.name}/b->a")
+        self._failed = False
+        self._degrade_fraction = 1.0
+        self._ab = FluidResource(ctx.fluid, rate, f"{self.name}/a->b")
+        self._ba = FluidResource(ctx.fluid, rate, f"{self.name}/b->a")
         self._ab.kind = "link"  # type: ignore[attr-defined]
         self._ba.kind = "link"  # type: ignore[attr-defined]
         a.link = self
         b.link = self
+        if ctx.faults is not None:
+            ctx.faults.add_link(self)
 
     @property
     def rate(self) -> float:
@@ -82,28 +86,48 @@ class Link:
     @property
     def failed(self) -> bool:
         """True while the link is down."""
-        return self._ab.capacity == 0.0
+        return self._failed
+
+    def _set_rate(self, rate: float) -> None:
+        # set_capacity settles the scheduler before mutating and
+        # rebalances after, so every transition closes a rate epoch.
+        self._ab.set_capacity(rate)
+        self._ba.set_capacity(rate)
 
     def fail(self) -> None:
-        """Take the link down (cable pull / port flap).
+        """Take the link down (cable pull / port flap); idempotent.
 
         In-flight fluid traffic stalls at zero rate; flows resume when
         :meth:`restore` brings the link back.
         """
-        self._ab.set_capacity(0.0)
-        self._ba.set_capacity(0.0)
+        if self._failed:
+            return
+        self._failed = True
+        self._set_rate(0.0)
 
     def restore(self) -> None:
-        """Bring a failed/degraded link back to its nominal rate."""
-        self._ab.set_capacity(self._nominal_rate)
-        self._ba.set_capacity(self._nominal_rate)
+        """Bring a failed link back up (degradation, if any, persists).
+
+        On a link that is *not* failed this clears any degradation,
+        returning it to the nominal rate.
+        """
+        if not self._failed:
+            self._degrade_fraction = 1.0
+        self._failed = False
+        self._set_rate(self._nominal_rate * self._degrade_fraction)
 
     def degrade(self, fraction: float) -> None:
-        """Clamp the link to *fraction* of nominal (e.g. FEC storms)."""
+        """Clamp the link to *fraction* of nominal (e.g. FEC storms).
+
+        Composable with a ``fail()``/``restore()`` cycle: degrading a
+        failed link keeps it dark now and takes effect on restore;
+        ``degrade(1.0)`` lifts the degradation.
+        """
         if not (0.0 < fraction <= 1.0):
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
-        self._ab.set_capacity(self._nominal_rate * fraction)
-        self._ba.set_capacity(self._nominal_rate * fraction)
+        self._degrade_fraction = fraction
+        if not self._failed:
+            self._set_rate(self._nominal_rate * fraction)
 
     def __repr__(self) -> str:
         return f"<Link {self.name!r} rate={self.rate:.3g} B/s delay={self.delay:g}s>"

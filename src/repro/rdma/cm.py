@@ -8,8 +8,10 @@ one-sided operations (standing in for HCA translation tables).
 
 from __future__ import annotations
 
-from typing import ClassVar, Dict, Optional
+from typing import Dict, Optional
 
+from repro.faults.injector import faults_active
+from repro.faults.recovery import DEFAULT_RECOVERY
 from repro.hw.nic import Nic
 from repro.hw.topology import Machine
 from repro.rdma.mr import MemoryRegion, ProtectionDomain
@@ -23,28 +25,30 @@ __all__ = ["ConnectionManager"]
 class ConnectionManager:
     """Per-context connection manager (one per experiment)."""
 
-    #: machine -> rkey -> MR, for one-sided op resolution.
-    _rkey_registry: ClassVar[Dict[int, Dict[int, MemoryRegion]]] = {}
-
     def __init__(self, ctx: Context):
         self.ctx = ctx
         self._listeners: Dict[tuple[str, int], Event] = {}
 
     # -- rkey registry -------------------------------------------------------------
+    # The registry lives on the machine's Context (``ctx.rkeys``), never
+    # on this class: a class-level dict keyed by id() would leak
+    # registrations across experiment contexts and could collide once the
+    # GC reuses an id.  The table holds a strong reference to each PD, so
+    # the id(pd) keys stay unique for the table's lifetime.
     @classmethod
     def register_pd(cls, pd: ProtectionDomain) -> None:
         """Expose a PD's registrations to one-sided remote access."""
-        table = cls._rkey_registry.setdefault(id(pd.machine), {})
+        table = pd.machine.ctx.rkeys.setdefault(pd.machine, {})
         # bind lazily: keep a reference to the PD's live table
-        table[id(pd)] = pd  # type: ignore[assignment]
+        table[id(pd)] = pd
 
     @classmethod
     def lookup_rkey(cls, machine: Machine, rkey: int) -> MemoryRegion:
         """Resolve a remote key on a machine (PermissionError on miss)."""
-        table = cls._rkey_registry.get(id(machine), {})
+        table = machine.ctx.rkeys.get(machine, {})
         for pd in table.values():
             try:
-                return pd.lookup_rkey(rkey)  # type: ignore[union-attr]
+                return pd.lookup_rkey(rkey)
             except PermissionError:
                 continue
         raise PermissionError(f"rkey {rkey:#x} unknown on {machine.name!r}")
@@ -78,7 +82,21 @@ class ConnectionManager:
         done = self.ctx.sim.event(name=f"{name}/connected")
 
         def handshake():
-            yield self.ctx.sim.timeout(3 * link.delay)
+            inj = faults_active(self.ctx)
+            if inj is None:
+                yield self.ctx.sim.timeout(3 * link.delay)
+            else:
+                # Under fault injection the exchange can be slowed
+                # (cm-delay) or time out on a dark link; retry with the
+                # stack's capped exponential backoff until it is up.
+                attempt = 0
+                while True:
+                    penalty = inj.handshake_delay(link)
+                    yield self.ctx.sim.timeout(3 * link.delay + penalty)
+                    if not link.failed:
+                        break
+                    yield self.ctx.sim.timeout(DEFAULT_RECOVERY.backoff(attempt))
+                    attempt += 1
             qp_c._connect(qp_s)
             qp_s._connect(qp_c)
             done.succeed((qp_c, qp_s))

@@ -9,8 +9,8 @@ domain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.fluid import FluidScheduler
@@ -32,20 +32,39 @@ class Context:
     rng: RngRegistry
     trace: TraceLog
     cal: "Calibration"
+    #: Fault injector, when one is attached (see :mod:`repro.faults`).
+    faults: Optional[Any] = None
+    #: Per-context rkey registry: machine -> {id(pd): pd}.  Owned here so
+    #: registrations never leak across contexts (ConnectionManager uses it).
+    rkeys: Dict[Any, Dict[int, Any]] = field(default_factory=dict)
 
     @classmethod
     def create(cls, seed: int = 0, cal: "Calibration | None" = None) -> "Context":
-        """Build a fresh context with its own clock and calibration."""
+        """Build a fresh context with its own clock and calibration.
+
+        When the ``REPRO_FAULTS`` environment variable names a fault
+        plan, a :class:`~repro.faults.injector.FaultInjector` driving it
+        is attached — the ambient form of ``--faults`` (inherited by
+        worker processes, part of the result-cache identity).
+        """
         from repro.core.calibration import CALIBRATION
 
         sim = Simulator()
-        return cls(
+        ctx = cls(
             sim=sim,
             fluid=FluidScheduler(sim),
             rng=RngRegistry(seed),
             trace=TraceLog(sim),
             cal=cal if cal is not None else CALIBRATION,
         )
+        from repro.faults.plan import ambient_plan
+
+        plan = ambient_plan()
+        if plan is not None and not plan.empty:
+            from repro.faults.injector import FaultInjector
+
+            FaultInjector(ctx, plan)
+        return ctx
 
     @property
     def now(self) -> float:

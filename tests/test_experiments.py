@@ -48,7 +48,9 @@ def test_experiment_registry_complete():
         "mtu", "credits", "tcp-wan", "gridftp-procs", "latency-load",
         "tuning-value",
     }
-    assert set(E.ALL_EXTENSIONS) == {"wan-e2e", "sensitivity", "filesize-mix", "100g"}
+    assert set(E.ALL_EXTENSIONS) == {
+        "wan-e2e", "sensitivity", "filesize-mix", "100g", "recovery",
+    }
 
 
 @pytest.mark.parametrize("name", sorted(E.ALL_EXTENSIONS))

@@ -1,23 +1,63 @@
-"""Fault injection: link failures/degradation and system behaviour."""
+"""Fault injection: link failures/degradation, the repro.faults
+subsystem (plans, injector, every fault kind), RFTP recovery/failover,
+and the differential guarantees (empty plan == no subsystem; RNG plans
+deterministic per seed)."""
 
+import numpy as np
 import pytest
 
 from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+from repro.faults import FaultInjector, FaultPlan, FaultSpec, RecoveryConfig
 from repro.hw import Machine, Nic, NicKind, frontend_lan_host
 from repro.net.link import connect
 from repro.net.topology import wire_frontend_lan
 from repro.sim.context import Context
-from repro.util.units import to_gbps
+from repro.util.units import MIB, to_gbps
 
 
-def pair(seed=61):
+def pair(seed=61, faults=None):
     ctx = Context.create(seed=seed)
+    if faults is not None:
+        FaultInjector(ctx, FaultPlan.parse(faults))
     a = Machine(ctx, "a", pcie_sockets=(0,))
     b = Machine(ctx, "b", pcie_sockets=(0,))
     na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
     nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
     link = connect(na, nb)
     return ctx, a, b, link
+
+
+METRO_CFG = RftpConfig(block_size=2 * MIB, streams_per_link=2, credits=2)
+
+
+def metro_pair(seed=70, faults=None):
+    """Three 2.5 ms rails: the credit-bound regime where failover shows."""
+    ctx = Context.create(seed=seed)
+    if faults is not None:
+        FaultInjector(ctx, FaultPlan.parse(faults))
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    from repro.net.topology import _nics
+
+    links = [
+        connect(c, s, delay=2.5e-3, name=f"metro{i}")
+        for i, (c, s) in enumerate(
+            zip(_nics(a, NicKind.ROCE_QDR), _nics(b, NicKind.ROCE_QDR))
+        )
+    ]
+    return ctx, a, b, links
+
+
+def run_metro_rftp(ctx, a, b, duration=30.0, config=METRO_CFG):
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null", config=config)
+    return xfer.run(duration, sample_interval=0.5)
+
+
+def rate_between(series, t0, t1):
+    t = np.asarray(series.times)
+    v = np.asarray(series.values)
+    mask = (t > t0) & (t <= t1)
+    return float(v[mask].mean())
 
 
 def test_link_fail_and_restore_flags():
@@ -123,3 +163,336 @@ def test_determinism_experiments():
     r1 = exp_fig09_e2e.run(quick=True, seed=5)
     r2 = exp_fig09_e2e.run(quick=True, seed=5)
     assert [c.measured for c in r1.checks] == [c.measured for c in r2.checks]
+
+# --- Link fault semantics ---------------------------------------------------------
+
+
+def test_link_fail_is_idempotent():
+    ctx, a, b, link = pair(seed=66)
+    link.fail()
+    link.fail()  # second call must be a no-op, not an error
+    assert link.failed and link.rate == 0.0
+    link.restore()
+    assert not link.failed
+    assert link.rate == pytest.approx(link._nominal_rate)
+
+
+def test_degrade_composes_with_outage():
+    """Degradation persists across a fail/restore cycle."""
+    ctx, a, b, link = pair(seed=67)
+    link.degrade(0.5)
+    assert link.rate == pytest.approx(0.5 * link._nominal_rate)
+    link.fail()
+    assert link.rate == 0.0
+    link.restore()
+    # the link comes back still degraded, not magically healed
+    assert link.rate == pytest.approx(0.5 * link._nominal_rate)
+    link.degrade(1.0)
+    assert link.rate == pytest.approx(link._nominal_rate)
+    # restore() on a healthy link clears any degradation
+    link.degrade(0.25)
+    link.restore()
+    assert link.rate == pytest.approx(link._nominal_rate)
+
+
+def test_recovery_config_backoff_caps():
+    rec = RecoveryConfig(backoff_base=0.1, backoff_factor=2.0, backoff_cap=2.0)
+    assert rec.backoff(0) == pytest.approx(0.1)
+    assert rec.backoff(3) == pytest.approx(0.8)
+    assert rec.backoff(10) == pytest.approx(2.0)  # capped
+    with pytest.raises(ValueError):
+        RecoveryConfig(detect_timeout=-1.0)
+    with pytest.raises(ValueError):
+        RecoveryConfig(retransmit_budget=0)
+    with pytest.raises(ValueError):
+        RecoveryConfig(window_loss_fraction=1.5)
+
+
+# --- Fault plans: parsing, validation, canonical form -----------------------------
+
+
+def test_fault_spec_parse_fields_and_aliases():
+    spec = FaultSpec.parse("link-down@link:1,at=5,duration=2")
+    assert (spec.kind, spec.target) == ("link-down", "link:1")
+    assert (spec.at, spec.duration) == (5.0, 2.0)
+    assert (spec.category, spec.selector) == ("link", "1")
+    # short aliases spell the same spec
+    assert FaultSpec.parse("link-down@link:1,t=5,dur=2") == spec
+    spec = FaultSpec.parse("loss@link:0,mag=0.3,period=4,n=5,jitter=0.5")
+    assert (spec.magnitude, spec.period, spec.count, spec.jitter) == \
+        (0.3, 4.0, 5, 0.5)
+
+
+def test_fault_spec_validation():
+    with pytest.raises(ValueError):
+        FaultSpec.parse("meteor-strike@link:0")  # unknown kind
+    with pytest.raises(ValueError):
+        FaultSpec.parse("link-down@volcano:0")  # unknown category
+    with pytest.raises(ValueError):
+        FaultSpec.parse("link-down@link:0,frobnicate=1")  # unknown field
+    with pytest.raises(ValueError):
+        FaultSpec.parse("link-down")  # no target at all
+    with pytest.raises(ValueError):
+        FaultSpec(kind="link-down", target="link:0", count=3)  # no period
+    with pytest.raises(ValueError):
+        FaultSpec(kind="degrade", target="link:0", magnitude=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="loss", target="link:0", magnitude=0.0)
+    with pytest.raises(ValueError):
+        FaultSpec(kind="link-down", target="link:0", at=-1.0)
+
+
+def test_fault_plan_parse_and_canonical():
+    plan = FaultPlan.parse(
+        "link-down@link:1,at=5,duration=2; degrade@link:*,mag=0.5")
+    assert len(plan.specs) == 2 and not plan.empty
+    # two spellings of the same plan share one canonical form (= cache key)
+    other = FaultPlan.parse(
+        "link-down@link:1,t=5,dur=2;degrade@link:*,magnitude=0.5")
+    assert plan.canonical() == other.canonical()
+    assert FaultPlan.parse("").empty
+    assert FaultPlan.parse(" ; ").empty
+    with pytest.raises(TypeError):
+        FaultPlan(("not a spec",))
+
+
+def test_ambient_plan_env(monkeypatch):
+    from repro.faults.plan import REPRO_FAULTS_ENV, ambient_plan, ambient_spec
+
+    monkeypatch.delenv(REPRO_FAULTS_ENV, raising=False)
+    assert ambient_plan() is None and ambient_spec() == ""
+    monkeypatch.setenv(REPRO_FAULTS_ENV, "  ")
+    assert ambient_plan() is None and ambient_spec() == ""
+    monkeypatch.setenv(REPRO_FAULTS_ENV, "nic-down@link:2,at=8")
+    plan = ambient_plan()
+    assert plan is not None and plan.specs[0].kind == "nic-down"
+    assert ambient_spec() == plan.canonical()
+
+
+# --- Injector mechanics -----------------------------------------------------------
+
+
+def test_injector_attaches_once():
+    ctx = Context.create(seed=68)
+    FaultInjector(ctx, FaultPlan(()))
+    with pytest.raises(RuntimeError):
+        FaultInjector(ctx, FaultPlan(()))
+
+
+def test_unresolved_target_counts():
+    ctx, a, b, link = pair(seed=69, faults="link-down@link:9,at=1")
+    ctx.sim.run(until=2.0)
+    assert ctx.faults.stats.unresolved == 1
+    assert ctx.faults.stats.faults_injected == 0
+    assert not link.failed
+
+
+def test_cm_delay_slows_handshake():
+    from repro.rdma.cm import ConnectionManager
+
+    ctx, a, b, link = pair(
+        seed=71, faults="cm-delay@link:0,at=0,magnitude=0.5,duration=5")
+    qp_a, qp_b, hs = ConnectionManager(ctx).connect_pair(
+        link.a, link.b, name="qp")
+    ctx.sim.run(until=hs)
+    assert ctx.sim.now == pytest.approx(3 * link.delay + 0.5)
+
+
+def test_degrade_fault_window():
+    ctx, a, b, link = pair(
+        seed=72, faults="degrade@link:0,at=5,magnitude=0.5,duration=5")
+    ctx.sim.run(until=6.0)
+    assert link.rate == pytest.approx(0.5 * link._nominal_rate)
+    ctx.sim.run(until=11.0)
+    assert link.rate == pytest.approx(link._nominal_rate)
+
+
+def test_ssd_degrade_window():
+    from repro.storage.ssd import SsdDevice
+    from repro.util.units import GB
+
+    ctx = Context.create(seed=73)
+    FaultInjector(ctx, FaultPlan.parse(
+        "ssd-degrade@ssd:flashy,at=1,magnitude=0.25,duration=2"))
+    dev = SsdDevice(ctx, "flashy", 100 * GB)
+    ctx.sim.run(until=1.5)
+    assert dev.bandwidth.capacity == pytest.approx(0.25 * dev.burst_rate)
+    ctx.sim.run(until=4.0)
+    assert dev.bandwidth.capacity == pytest.approx(dev.burst_rate)
+
+
+def test_target_stall_fails_target_links():
+    from repro.hw import backend_lan_host
+    from repro.net.topology import wire_san
+    from repro.storage.target import IserTarget
+
+    ctx = Context.create(seed=74)
+    FaultInjector(ctx, FaultPlan.parse(
+        "target-stall@target:tgtd,at=1,duration=2"))
+    front = frontend_lan_host(ctx, "front", with_ib=True)
+    back = backend_lan_host(ctx, "back")
+    wire_san(ctx, front, back)
+    IserTarget(ctx, back, tuning="numa", n_links=2)
+    tgt_links = [ln for ln in ctx.faults.links
+                 if ln.a.machine is back or ln.b.machine is back]
+    assert tgt_links
+    ctx.sim.run(until=2.0)
+    assert all(ln.failed for ln in tgt_links)
+    ctx.sim.run(until=4.0)
+    assert not any(ln.failed for ln in tgt_links)
+
+
+# --- RFTP recovery under injected faults (metro testbed) --------------------------
+
+
+def test_short_blip_stalls_without_recovery():
+    """An outage shorter than the block-ack timeout is just a stall."""
+    ctx, a, b, links = metro_pair(
+        seed=75, faults="link-down@link:1,at=10,duration=0.1")
+    res = run_metro_rftp(ctx, a, b, duration=20.0)
+    assert res.streams_failed == 0
+    assert res.reconnects == 0
+    assert res.retransmitted_bytes == 0.0
+    assert ctx.faults.stats.faults_injected == 1
+
+
+def test_nic_down_failover_recovers_goodput():
+    """Survivors absorb the dead rail's credit budget: goodput returns."""
+    ctx, a, b, links = metro_pair(seed=76, faults="nic-down@link:1,at=10")
+    res = run_metro_rftp(ctx, a, b, duration=30.0)
+    pre = rate_between(res.series, 2.0, 10.0)
+    post = rate_between(res.series, 20.0, 30.0)
+    assert to_gbps(pre) > 35  # credit-bound aggregate, all three rails
+    assert post >= 0.9 * pre  # failover recovered the goodput
+    assert res.streams_failed == 2  # both streams of the dead rail
+    # each dead stream retransmits its full credit window
+    assert res.retransmitted_bytes == pytest.approx(2 * 2 * 2 * MIB)
+    assert res.reconnects == 0  # the NIC never comes back
+    assert ctx.faults.stats.giveups == 1
+
+
+def test_link_flap_reconnects():
+    """A transient outage: failover first, CM reconnect once it returns."""
+    ctx, a, b, links = metro_pair(
+        seed=77, faults="link-down@link:1,at=10,duration=3")
+    res = run_metro_rftp(ctx, a, b, duration=30.0)
+    pre = rate_between(res.series, 2.0, 10.0)
+    post = rate_between(res.series, 20.0, 30.0)
+    assert res.reconnects == 1
+    assert res.streams_failed == 2
+    # outage (3 s) + capped exponential backoff overshoot
+    assert 2.5 < res.recovery_seconds < 4.5
+    assert post >= 0.9 * pre
+    assert not links[1].failed
+
+
+def test_qp_error_triggers_immediate_reconnect():
+    """A QP async error skips detection: tear down and reconnect now."""
+    ctx, a, b, links = metro_pair(seed=78, faults="qp-error@link:1,at=10")
+    res = run_metro_rftp(ctx, a, b, duration=20.0)
+    assert res.reconnects == 1
+    assert res.streams_failed == 2
+    assert 0.0 < res.recovery_seconds < 1.0  # link was never down
+    assert res.retransmitted_bytes == pytest.approx(2 * 2 * 2 * MIB)
+
+
+def test_crash_kills_and_restarts_all_rails():
+    ctx, a, b, links = metro_pair(
+        seed=79, faults="crash@transfer:rftp,at=10,duration=1")
+    res = run_metro_rftp(ctx, a, b, duration=30.0)
+    pre = rate_between(res.series, 2.0, 10.0)
+    post = rate_between(res.series, 20.0, 30.0)
+    assert res.streams_failed == 6  # every stream of every rail
+    assert res.reconnects == 3  # every rail re-established
+    assert post >= 0.9 * pre
+
+
+def test_loss_burst_charges_retransmission():
+    ctx, a, b, links = metro_pair(
+        seed=80, faults="loss@link:0,at=10,magnitude=0.5")
+    res = run_metro_rftp(ctx, a, b, duration=20.0)
+    # half the credit window of each of the link's two streams is resent
+    assert res.retransmitted_bytes == pytest.approx(2 * 0.5 * 2 * 2 * MIB)
+    assert res.streams_failed == 0  # the streams survive a loss burst
+    assert res.reconnects == 0
+
+
+# --- Differential guarantees ------------------------------------------------------
+
+
+def _reference_run(attach_empty_injector: bool):
+    ctx = Context.create(seed=81)
+    if attach_empty_injector:
+        FaultInjector(ctx, FaultPlan(()))
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    wire_frontend_lan(a, b)
+    xfer = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                        config=RftpConfig(streams_per_link=2))
+    res = xfer.run(10.0)
+    return (
+        res.total_bytes,
+        tuple(sorted(res.sender_accounting.seconds_by_category().items())),
+        tuple(sorted(res.receiver_accounting.seconds_by_category().items())),
+        tuple(res.series.times),
+        tuple(res.series.values),
+    )
+
+
+def test_empty_plan_is_byte_identical():
+    """An empty-plan injector is indistinguishable from no injector."""
+    assert _reference_run(False) == _reference_run(True)
+
+
+def test_jittered_plan_is_deterministic_per_seed():
+    def once():
+        ctx, a, b, links = metro_pair(
+            seed=82,
+            faults="loss@link:0,at=5,magnitude=0.3,period=4,count=3,jitter=0.5")
+        res = run_metro_rftp(ctx, a, b, duration=20.0)
+        return (res.total_bytes, res.retransmitted_bytes,
+                tuple(res.series.values))
+
+    first, second = once(), once()
+    assert first == second
+    assert first[1] > 0.0  # the jittered bursts really fired
+
+
+# --- rkey registry scoping & cache identity ---------------------------------------
+
+
+def test_rkey_registry_scoped_per_context():
+    from repro.kernel import NumaPolicy, place_region
+    from repro.rdma import ConnectionManager, ProtectionDomain
+
+    c1 = Context.create(seed=83)
+    m1 = Machine(c1, "a", pcie_sockets=(0,))
+    pd = ProtectionDomain(m1)
+    mr = pd.register(place_region(MIB, NumaPolicy.bind(0), m1.n_nodes))
+    ConnectionManager.register_pd(pd)
+    assert ConnectionManager.lookup_rkey(m1, mr.rkey) is mr
+    # a fresh context's machine sees none of c1's registrations
+    c2 = Context.create(seed=84)
+    m2 = Machine(c2, "a", pcie_sockets=(0,))
+    assert not c2.rkeys
+    with pytest.raises(PermissionError):
+        ConnectionManager.lookup_rkey(m2, mr.rkey)
+
+
+def test_cache_identity_includes_fault_plan(monkeypatch):
+    from repro.exec import SimTask
+    from repro.faults.plan import REPRO_FAULTS_ENV
+
+    task = SimTask("repro.core.reportgen:run_whole_experiment",
+                   {"registry": "figures", "name": "fig09", "quick": True})
+    monkeypatch.delenv(REPRO_FAULTS_ENV, raising=False)
+    base = task.identity()
+    # unset and empty-string plans key identically (both fault-free)
+    monkeypatch.setenv(REPRO_FAULTS_ENV, "")
+    assert task.identity() == base
+    # a real plan changes the identity; its spelling does not
+    monkeypatch.setenv(REPRO_FAULTS_ENV, "link-down@link:1,at=5")
+    faulted = task.identity()
+    assert faulted != base
+    monkeypatch.setenv(REPRO_FAULTS_ENV, "link-down@link:1,t=5")
+    assert task.identity() == faulted
