@@ -1,0 +1,8 @@
+"""Extension E6: transfer-service capacity curves — sustained jobs/s and
+job-latency percentiles vs fleet size, NUMA-aware broker vs blind baseline."""
+
+from repro.core.experiments import ext_service
+
+
+def test_ext_service(run_experiment):
+    run_experiment(ext_service, "ext_service")

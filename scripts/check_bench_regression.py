@@ -9,10 +9,13 @@ Compares fresh benchmark JSON (written by ``benchmarks/conftest.py`` into
   baseline, or a check flips its pass/fail status, or a metric
   appears/disappears; or
 * **performance regresses** — events/sec drops more than ``--tolerance``
-  (default 25%) below the baseline.
+  (default 25%) below the baseline; or
+* **the gate itself is broken** — a baseline or fresh result file is
+  missing or malformed JSON, or a result file has no committed baseline.
+  These fail loudly with the benchmark's name: a gate that silently
+  skips a corrupt baseline is a gate that never fires.
 
-Performance *improvements* and new result files without a baseline are
-reported but never fail the gate.  Usage::
+Performance *improvements* never fail the gate.  Usage::
 
     python scripts/check_bench_regression.py \
         [--results benchmarks/results] [--baselines benchmarks/baselines] \
@@ -37,6 +40,26 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 def load_json(path: pathlib.Path) -> dict:
     with path.open() as fh:
         return json.load(fh)
+
+
+def load_result(path: pathlib.Path, name: str, role: str,
+                errors: list[str]) -> dict | None:
+    """Load one benchmark JSON; on failure, record a named error.
+
+    Returns None when the file is unreadable, malformed, or not a JSON
+    object — the caller skips the comparison and the run fails.
+    """
+    try:
+        data = load_json(path)
+    except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+        errors.append(f"{name}: malformed {role} at {path}: {exc}")
+        return None
+    if not isinstance(data, dict):
+        errors.append(
+            f"{name}: malformed {role} at {path}: expected a JSON object, "
+            f"got {type(data).__name__}")
+        return None
+    return data
 
 
 def compare_checks(name: str, baseline: dict, fresh: dict) -> list[str]:
@@ -122,8 +145,10 @@ def main(argv: list[str] | None = None) -> int:
         if not fresh_path.exists():
             errors.append(f"{name}: no fresh result at {fresh_path}")
             continue
-        baseline = load_json(base_path)
-        fresh = load_json(fresh_path)
+        baseline = load_result(base_path, name, "baseline", errors)
+        fresh = load_result(fresh_path, name, "fresh result", errors)
+        if baseline is None or fresh is None:
+            continue
 
         if fresh.get("all_ok") is not True:
             errors.append(f"{name}: fresh run reports all_ok={fresh.get('all_ok')!r}")
@@ -137,8 +162,10 @@ def main(argv: list[str] | None = None) -> int:
     extra = {p.stem for p in args.results.glob("*.json")} - {
         p.stem for p in baselines
     }
-    if extra:
-        print(f"note: results without a baseline (not gated): {sorted(extra)}")
+    for name in sorted(extra):
+        errors.append(
+            f"{name}: result has no committed baseline under "
+            f"{args.baselines} (add one, or the benchmark is never gated)")
 
     if errors:
         print(f"\nFAIL: {len(errors)} regression(s)/drift(s):")

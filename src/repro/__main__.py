@@ -71,7 +71,7 @@ def _apply_faults_flag(args) -> int:
 
 def cmd_run(args) -> int:
     """Run one experiment (or all) and print its report."""
-    rc = _apply_faults_flag(args)
+    rc = _apply_faults_flag(args) or _apply_service_flags(args)
     if rc:
         return rc
     mods = _all_modules()
@@ -98,7 +98,7 @@ def cmd_run(args) -> int:
 
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
-    rc = _apply_faults_flag(args)
+    rc = _apply_faults_flag(args) or _apply_service_flags(args)
     if rc:
         return rc
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -146,6 +146,13 @@ def cmd_report(args) -> int:
               f"retransmitted_bytes={faults['retransmitted_bytes']:.0f}  "
               f"reconnects={faults['reconnects']}  "
               f"recovery_seconds={faults['recovery_seconds']:.2f}")
+    service = stats.get("service")
+    if service is not None:
+        print(f"[service] submitted={service['submitted']}  "
+              f"completed={service['completed']}  "
+              f"shed={service['shed']}  "
+              f"rescheduled={service['rescheduled']}  "
+              f"remote_placements={service['remote_placements']}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
@@ -165,11 +172,31 @@ def _profiled(fn, top: int):
     return result
 
 
+def _jobs_type(text: str) -> int:
+    """Parse ``--jobs``: a positive integer, or ``auto`` for one per core.
+
+    0 and negative counts are rejected here, at the argparse boundary,
+    so the error names the flag instead of surfacing as a hung pool or
+    a ValueError from deep inside the executor.
+    """
+    if text.strip().lower() == "auto":
+        return 0  # the executor's one-worker-per-core sentinel
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {text!r}") from None
+    if jobs <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be >= 1 (or 'auto' for one worker per CPU core), got {jobs}")
+    return jobs
+
+
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-j", "--jobs", type=int, default=1, metavar="N",
+        "-j", "--jobs", type=_jobs_type, default=1, metavar="N",
         help="fan independent simulation tasks across N worker processes "
-        "(0 = one per CPU core; default: 1, fully serial)")
+        "('auto' = one per CPU core; default: 1, fully serial)")
 
 
 def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
@@ -179,6 +206,43 @@ def _add_faults_flag(parser: argparse.ArgumentParser) -> None:
         "semicolon-separated plan like "
         "'link-down@link:1,at=5,duration=2' (sets REPRO_FAULTS; part "
         "of the result-cache identity; see docs/MODELING.md section 9)")
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--service-policy", default=None, metavar="POLICY",
+        help="baseline policy the ext-service capacity curves compare "
+        "numa-aware against: numa-blind (default) or fifo (sets "
+        "REPRO_SERVICE_POLICY; part of the result-cache identity)")
+    parser.add_argument(
+        "--arrival-rate", default=None, type=float, metavar="JOBS_PER_S",
+        help="ext-service offered load in jobs/s per host (sets "
+        "REPRO_SERVICE_ARRIVAL; part of the result-cache identity)")
+
+
+def _apply_service_flags(args) -> int:
+    """Export the service-experiment knobs (inherited by workers).
+
+    Validated up front like ``--faults``: a bad policy or rate fails
+    here with the flag's name, not from inside a worker mid-run.
+    """
+    policy = getattr(args, "service_policy", None)
+    if policy is not None:
+        from repro.service import POLICIES
+
+        if policy not in POLICIES:
+            print(f"bad --service-policy: must be one of "
+                  f"{', '.join(POLICIES)}, got {policy!r}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_SERVICE_POLICY"] = policy
+    rate = getattr(args, "arrival_rate", None)
+    if rate is not None:
+        if rate <= 0:
+            print(f"bad --arrival-rate: must be > 0, got {rate:g}",
+                  file=sys.stderr)
+            return 2
+        os.environ["REPRO_SERVICE_ARRIVAL"] = repr(rate)
+    return 0
 
 
 def main(argv=None) -> int:
@@ -205,6 +269,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_run)
     _add_faults_flag(p_run)
+    _add_service_flags(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
@@ -222,6 +287,7 @@ def main(argv=None) -> int:
     p_rep.add_argument("--seed", type=int, default=0)
     _add_jobs_flag(p_rep)
     _add_faults_flag(p_rep)
+    _add_service_flags(p_rep)
     p_rep.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="directory of the content-addressed result cache "

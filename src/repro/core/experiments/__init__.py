@@ -28,7 +28,8 @@ ext_*               claims the paper could not test: E1 storage-to-
                     storage over the WAN, E2 calibration sensitivity,
                     E3 file-size-mix penalty, E4 the 100 GbE upgrade
                     path, E5 goodput under faults (RFTP recovery vs
-                    GridFTP stall)
+                    GridFTP stall), E6 transfer-service capacity
+                    curves (NUMA-aware broker vs blind baseline)
 ==================  ==============================================
 """
 
@@ -62,6 +63,7 @@ from repro.core.experiments import (  # noqa: F401 (re-exported for discovery)
     ext_filesize_mix,
     ext_recovery,
     ext_sensitivity,
+    ext_service,
     ext_wan_e2e,
 )
 
@@ -71,6 +73,7 @@ ALL_EXTENSIONS = {
     "filesize-mix": ext_filesize_mix,
     "100g": ext_100g,
     "recovery": ext_recovery,
+    "service": ext_service,
 }
 
 ALL_ABLATIONS = {

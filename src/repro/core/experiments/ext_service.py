@@ -1,0 +1,252 @@
+"""E6: capacity planning for a NUMA-aware transfer service.
+
+The paper tunes a *single* transfer's placement; a production broker
+must do it per job, continuously, under multi-tenant load.  This
+extension runs the :mod:`repro.service` broker — Poisson arrivals,
+heavy-tailed file sizes, per-tenant quotas, bounded queueing — over
+growing rail fleets and reports the capacity-planning curve operators
+actually ask for: sustained jobs/s and p95/p99 job latency versus fleet
+size, ``numa-aware`` placement versus the ``numa-blind`` baseline.
+
+The comparison is placement-pure: both policies at one fleet size share
+one seed and therefore one byte-identical job stream (arrival times,
+tenants, sizes, first-touch nodes); only where the buffer lands
+differs.  ``numa-blind`` pays the remote-access stream derate plus
+QPI/membank contention on roughly half its jobs, which shows up
+directly in the latency tail — the fleet-level restatement of the
+paper's single-stream NUMA penalty.
+
+A chaos leg runs the broker under a mid-run rail failure (fault-plan
+hook): jobs on the dead rail are stopped, their remaining bytes
+requeued, and rescheduled onto surviving rails, so the service degrades
+instead of stalling.
+
+Environment overrides (both hashed into the result-cache identity as
+ordinary leg parameters):
+
+* ``REPRO_SERVICE_POLICY``  — baseline policy for the comparison
+  (default ``numa-blind``; ``fifo`` compares against the naive
+  round-robin instead).
+* ``REPRO_SERVICE_ARRIVAL`` — offered load in jobs/s per host
+  (default 55).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.calibration import Calibration
+from repro.core.report import ExperimentReport
+from repro.exec import SimTask, run_tasks
+
+__all__ = ["run", "plan", "assemble", "baseline_policy", "arrival_rate"]
+
+_LEGS = "repro.core.experiments.service_legs"
+
+#: Default offered load per host, jobs/second (~50% rail utilization at
+#: the 128 MiB quick-mode mean size).
+DEFAULT_RATE = 55.0
+
+
+def baseline_policy() -> str:
+    """The comparison baseline (``REPRO_SERVICE_POLICY``, else numa-blind)."""
+    from repro.service import POLICIES
+
+    policy = os.environ.get("REPRO_SERVICE_POLICY", "").strip() or "numa-blind"
+    if policy not in POLICIES:
+        raise ValueError(
+            f"REPRO_SERVICE_POLICY must be one of {POLICIES}, got {policy!r}")
+    return policy
+
+
+def arrival_rate() -> float:
+    """Offered jobs/s per host (``REPRO_SERVICE_ARRIVAL``, else default)."""
+    text = os.environ.get("REPRO_SERVICE_ARRIVAL", "").strip()
+    if not text:
+        return DEFAULT_RATE
+    try:
+        rate = float(text)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_SERVICE_ARRIVAL must be a number, got {text!r}") from None
+    if rate <= 0:
+        raise ValueError(
+            f"REPRO_SERVICE_ARRIVAL must be > 0, got {rate}")
+    return rate
+
+
+def _shape(quick: bool):
+    fleets = (1, 2) if quick else (1, 2, 4)
+    duration = 12.0 if quick else 45.0
+    size_mean_mib = 128.0
+    return fleets, duration, size_mean_mib
+
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+         ) -> list[SimTask]:
+    """The experiment as independent tasks.
+
+    Per fleet size, one ``numa-aware`` leg and one baseline leg at the
+    **same seed** (identical job streams; the comparison is pure
+    placement), plus a round-robin ``fifo`` curve point at the largest
+    fleet and one chaos leg (mid-run rail failure) at the smallest.
+    """
+    fleets, duration, size_mean_mib = _shape(quick)
+    baseline = baseline_policy()
+    rate = arrival_rate()
+    common = {"rate_per_host": rate, "duration": duration,
+              "size_mean_mib": size_mean_mib}
+    tasks: list[SimTask] = []
+    for i, hosts in enumerate(fleets):
+        for policy in ("numa-aware", baseline):
+            tasks.append(SimTask(
+                f"{_LEGS}:service_leg",
+                {"hosts": hosts, "policy": policy, **common},
+                seed=seed + i, cal=cal,
+                label=f"service/{policy}-x{hosts}"))
+    tasks.append(SimTask(
+        f"{_LEGS}:service_leg",
+        {"hosts": fleets[-1], "policy": "fifo", **common},
+        seed=seed + len(fleets) - 1, cal=cal,
+        label=f"service/fifo-x{fleets[-1]}"))
+    # Chaos: one of three rails dies mid-serve and stays dead; the
+    # broker must reschedule its jobs onto the survivors.  The leg runs
+    # overloaded (2 GiB mean files above rail capacity) so the
+    # admission budget keeps every rail occupied with a standing queue
+    # by the fault time — the dying rail is never idle.
+    tasks.append(SimTask(
+        f"{_LEGS}:service_leg",
+        {"hosts": fleets[0], "policy": "numa-aware",
+         "faults": f"link-down@link:0,at={2.0 * duration / 3.0}",
+         **{**common, "size_mean_mib": 2048.0, "rate_per_host": 12.0}},
+        seed=seed + 17, cal=cal,
+        label=f"service/chaos-x{fleets[0]}"))
+    return tasks
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Fold the legs into the capacity-planning report."""
+    fleets, duration, _ = _shape(quick)
+    baseline = baseline_policy()
+    rate = arrival_rate()
+    pairs = results[:2 * len(fleets)]
+    fifo = results[2 * len(fleets)]
+    chaos = results[2 * len(fleets) + 1]
+    aware = {leg["hosts"]: leg for leg in pairs[0::2]}
+    blind = {leg["hosts"]: leg for leg in pairs[1::2]}
+
+    report = ExperimentReport(
+        "ext-service",
+        "E6: transfer-service capacity curves — sustained jobs/s and job "
+        f"latency vs fleet size, numa-aware vs {baseline} "
+        f"({rate:g} jobs/s/host offered)",
+        data_headers=["fleet", "policy", "offered /s", "sustained /s",
+                      "p50 ms", "p95 ms", "p99 ms", "remote %", "shed"],
+    )
+
+    def _row(leg):
+        remote = (leg["remote_placements"] / leg["submitted"]
+                  if leg["submitted"] else 0.0)
+        report.add_row([
+            f"{leg['hosts']} host{'s' if leg['hosts'] > 1 else ''}",
+            leg["policy"],
+            round(leg["offered_rate"], 1),
+            round(leg["jobs_per_s"], 1),
+            round(leg["p50_ms"], 1),
+            round(leg["p95_ms"], 1),
+            round(leg["p99_ms"], 1),
+            f"{remote:.0%}",
+            leg["shed"],
+        ])
+
+    for hosts in fleets:
+        _row(aware[hosts])
+        _row(blind[hosts])
+    _row(fifo)
+
+    # -- SLO invariant: the CI service-smoke gate -------------------------
+    ref = fleets[-1]
+    a, b = aware[ref], blind[ref]
+    report.add_check(
+        f"numa-aware p99 <= {baseline} p99 at equal offered load",
+        f"aware <= {b['p99_ms']:.1f} ms",
+        f"{a['p99_ms']:.1f} ms",
+        ok=a["p99_ms"] <= b["p99_ms"])
+    report.add_check(
+        f"numa-aware p95 <= {baseline} p95 at equal offered load",
+        f"aware <= {b['p95_ms']:.1f} ms",
+        f"{a['p95_ms']:.1f} ms",
+        ok=a["p95_ms"] <= b["p95_ms"])
+    report.add_check(
+        "identical job streams across policies (same seed)",
+        f"{b['submitted']} submissions",
+        a["submitted"],
+        ok=a["submitted"] == b["submitted"]
+        and a["offered_rate"] == b["offered_rate"])
+    report.add_check(
+        "numa-aware placement is local", "0 remote DMA reads",
+        aware[ref]["remote_placements"],
+        ok=all(leg["remote_placements"] == 0 for leg in aware.values()))
+    report.add_check(
+        f"{baseline} pays remote placements", "> 0 remote DMA reads",
+        blind[ref]["remote_placements"],
+        ok=blind[ref]["remote_placements"] > 0)
+
+    # -- capacity scaling --------------------------------------------------
+    lo, hi = fleets[0], fleets[-1]
+    scale = hi / lo
+    ratio = (aware[hi]["jobs_per_s"] / aware[lo]["jobs_per_s"]
+             if aware[lo]["jobs_per_s"] else 0.0)
+    report.add_check(
+        f"sustained jobs/s scales with fleet ({lo} -> {hi} hosts)",
+        f">= {0.85 * scale:.2f}x", f"{ratio:.2f}x",
+        ok=ratio >= 0.85 * scale)
+    report.add_check(
+        "no load shedding at reference load", "0 shed",
+        sum(leg["shed"] for leg in (*aware.values(), *blind.values())),
+        ok=all(leg["shed"] == 0 for leg in (*aware.values(), *blind.values())))
+    report.add_check(
+        "job accounting conserves (all legs)",
+        "submitted == completed + shed + cancelled + active",
+        all(leg["conserved"] for leg in results),
+        ok=all(leg["conserved"] for leg in results))
+
+    # -- chaos: broker reschedules around the dead rail -------------------
+    report.add_check(
+        "chaos: rail failure injected", ">= 1 fault",
+        chaos["faults_injected"], ok=chaos["faults_injected"] >= 1)
+    report.add_check(
+        "chaos: jobs rescheduled off the dead rail", ">= 1 job",
+        chaos["rescheduled"], ok=chaos["rescheduled"] >= 1)
+    report.add_check(
+        "chaos: service kept completing on surviving rails",
+        f">= 60% of {chaos['submitted']} submitted",
+        chaos["completed"],
+        ok=chaos["completed"] >= 0.6 * chaos["submitted"] > 0)
+
+    gap = b["p99_ms"] - a["p99_ms"]
+    report.notes.append(
+        f"At {ref} hosts the {baseline} p99 is {gap:.1f} ms above "
+        "numa-aware on the identical job stream: remote placements run "
+        "their DMA reads across QPI at the remote-access stream derate, "
+        "and under load those crossings contend for the interconnect and "
+        "remote membank — the paper's single-transfer placement penalty, "
+        "surfacing as a fleet latency-tail tax.")
+    report.notes.append(
+        "Chaos leg (overloaded broker, rail 0 dead from "
+        f"t={2.0 * duration / 3.0:g} s): {chaos['rescheduled']} job(s) "
+        "rescheduled with their remaining bytes onto surviving rails; "
+        f"{chaos['completed']}/{chaos['submitted']} jobs still completed.")
+    report.notes.append(
+        "Per-tenant accounting and live-session inspection ride along "
+        "(service.sessions(); quotas bound concurrent jobs per tenant, "
+        "the aggregate bandwidth budget bounds fabric oversubscription).")
+    return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the capacity-planning report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = ["SimTask"]
 
 #: Bump when the on-disk cache entry layout changes (invalidates all keys).
-CACHE_FORMAT_VERSION = 4
+CACHE_FORMAT_VERSION = 5
 
 
 def _canonical(obj: Any) -> Any:

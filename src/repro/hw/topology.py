@@ -189,6 +189,24 @@ class Machine:
             raise ValueError("QPI link requires distinct sockets")
         return self._qpi[(src, dst)]
 
+    def cabled_nics(self, node: Optional[int] = None) -> "list[Nic]":
+        """Adapters that are installed *and* cabled, in slot order.
+
+        ``node`` filters to adapters whose PCIe slot hangs off that
+        socket — the rail-locality query the transfer-service scheduler
+        uses to respect socket locality (see
+        :func:`repro.rdma.fabric.rail_locality_map` for the grouped
+        form).
+        """
+        if node is not None:
+            check_index("node", node, self.n_nodes)
+        return [
+            s.device
+            for s in self.pcie_slots
+            if s.device is not None and s.device.link is not None
+            and (node is None or s.socket == node)
+        ]
+
     # -- path builders -----------------------------------------------------
     def mem_path(
         self, from_node: int, mem_node: int, traffic: float = 1.0

@@ -16,7 +16,23 @@ from repro.hw.nic import Nic
 from repro.rdma.verbs import Opcode, QueuePair
 from repro.sim.fluid import FluidResource
 
-__all__ = ["rdma_fluid_path", "weighted_dma_path"]
+__all__ = ["rail_locality_map", "rdma_fluid_path", "weighted_dma_path"]
+
+
+def rail_locality_map(machine) -> Dict[int, list]:
+    """Cabled adapters of *machine* grouped by the NUMA node they hang off.
+
+    The transfer-service scheduler's rail-locality query: a NIC in the
+    returned ``{node: [nic, ...]}`` map can DMA a buffer on its own node
+    without crossing QPI, which is exactly the placement the paper's
+    NUMA tuning enforces per transfer and the ``numa-aware`` broker
+    policy enforces per job.  Slot order is preserved within each node,
+    so placement iteration order is deterministic.
+    """
+    out: Dict[int, list] = {}
+    for nic in machine.cabled_nics():
+        out.setdefault(nic.node, []).append(nic)
+    return out
 
 
 def weighted_dma_path(

@@ -1,0 +1,485 @@
+"""The transfer broker: admission control, scheduling, sessions, recovery.
+
+A :class:`TransferBroker` is the control plane of one simulated
+transfer service.  Jobs arrive (usually from a
+:class:`~repro.service.workload.WorkloadGenerator`), pass admission
+control, wait in a bounded FIFO queue, and run as fluid flows across
+the fleet's rails; completions come back from the fluid scheduler as
+ordinary events.  Everything is deterministic per seed.
+
+**Admission** enforces two budgets:
+
+* a per-tenant quota on *concurrent running jobs* — a tenant over quota
+  queues (it is not dropped), which is the multi-tenant fairness knob
+  RDMAvisor-style sharing needs;
+* an aggregate rail-bandwidth budget — the summed nominal demand of
+  running jobs may not exceed ``budget_fraction`` times the fleet's
+  rail capacity, bounding oversubscription of the fabric.
+
+The queue itself is bounded: a submission that cannot start and finds
+the queue full is **shed** and accounted per tenant (load shedding, not
+silent loss).
+
+**Scheduling** delegates placement to
+:func:`repro.service.scheduler.pick_rail` (``fifo`` / ``numa-aware`` /
+``numa-blind``).  A job placed on a rail local to its buffer runs at
+the rail's full stream rate; a remote placement crosses QPI and pays
+the calibrated remote-access stream derate — the paper's single-
+transfer placement penalty, applied per job.
+
+**Sessions** follow the middleware idiom (``iscsi.global.sessions``):
+:meth:`sessions` lists live jobs, :meth:`session` inspects one,
+:meth:`cancel` stops one mid-transfer and reclaims its quota and
+bandwidth credits immediately.
+
+**Faults**: with an active injector the broker registers as a transfer
+listener; a dead rail's jobs are stopped, their remaining bytes
+requeued at the head of the queue, and rescheduled onto surviving
+rails (counted per job in ``reschedules``).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+import numpy as np
+
+from repro.faults.injector import faults_active
+from repro.service.fleet import Rail, RailFleet
+from repro.service.scheduler import POLICIES, pick_rail
+from repro.service.workload import WorkloadConfig, WorkloadGenerator
+from repro.sim.context import Context
+from repro.sim.fluid import FluidFlow
+from repro.util.validation import check_positive
+
+__all__ = ["BrokerConfig", "JobState", "ServiceStats", "TransferBroker"]
+
+#: Remaining-bytes floor below which a rescheduled job counts as done.
+_EPSILON_BYTES = 1.0
+
+
+class JobState(enum.Enum):
+    """Lifecycle of one transfer job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    SHED = "shed"
+    CANCELLED = "cancelled"
+
+
+@dataclass(frozen=True)
+class BrokerConfig:
+    """Admission and scheduling knobs of one broker."""
+
+    policy: str = "numa-aware"
+    #: Max concurrent *running* jobs per tenant (over-quota jobs queue).
+    tenant_quota: int = 8
+    #: Bounded queue length; a submission finding it full is shed.
+    max_queue: int = 256
+    #: Aggregate running nominal demand <= fraction x fleet rail rate.
+    budget_fraction: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"policy must be one of {POLICIES}, got {self.policy!r}")
+        check_positive("tenant_quota", self.tenant_quota)
+        check_positive("max_queue", self.max_queue)
+        check_positive("budget_fraction", self.budget_fraction)
+
+
+class ServiceStats:
+    """Broker counters, with process-global totals for report footers.
+
+    Mirrors :class:`~repro.faults.injector.FaultStats`: instance
+    counters track one broker, the class attributes aggregate across
+    every broker ever created in this process.
+    """
+
+    __slots__ = ("submitted", "completed", "shed", "cancelled",
+                 "rescheduled", "remote_placements", "bytes_completed")
+
+    total_submitted = 0
+    total_completed = 0
+    total_shed = 0
+    total_cancelled = 0
+    total_rescheduled = 0
+    total_remote_placements = 0
+    total_bytes_completed = 0.0
+
+    def __init__(self) -> None:
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self.cancelled = 0
+        self.rescheduled = 0
+        self.remote_placements = 0
+        self.bytes_completed = 0.0
+
+    def count_submitted(self) -> None:
+        self.submitted += 1
+        ServiceStats.total_submitted += 1
+
+    def count_completed(self, nbytes: float) -> None:
+        self.completed += 1
+        self.bytes_completed += nbytes
+        ServiceStats.total_completed += 1
+        ServiceStats.total_bytes_completed += nbytes
+
+    def count_shed(self) -> None:
+        self.shed += 1
+        ServiceStats.total_shed += 1
+
+    def count_cancelled(self) -> None:
+        self.cancelled += 1
+        ServiceStats.total_cancelled += 1
+
+    def count_rescheduled(self) -> None:
+        self.rescheduled += 1
+        ServiceStats.total_rescheduled += 1
+
+    def count_remote_placement(self) -> None:
+        self.remote_placements += 1
+        ServiceStats.total_remote_placements += 1
+
+    @classmethod
+    def process_totals(cls) -> dict:
+        """The process-global counters as a plain dict."""
+        return {
+            "submitted": cls.total_submitted,
+            "completed": cls.total_completed,
+            "shed": cls.total_shed,
+            "cancelled": cls.total_cancelled,
+            "rescheduled": cls.total_rescheduled,
+            "remote_placements": cls.total_remote_placements,
+            "bytes_completed": cls.total_bytes_completed,
+        }
+
+    def as_dict(self) -> dict:
+        """The instance counters as a plain dict."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "shed": self.shed,
+            "cancelled": self.cancelled,
+            "rescheduled": self.rescheduled,
+            "remote_placements": self.remote_placements,
+            "bytes_completed": self.bytes_completed,
+        }
+
+
+@dataclass(eq=False)
+class _Job:
+    """Broker-internal job record (sessions render it to plain dicts)."""
+
+    job_id: int
+    tenant: str
+    size: float
+    touch_node: int
+    submitted_at: float
+    state: JobState = JobState.QUEUED
+    remaining: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    rail: Optional[Rail] = None
+    buffer_node: Optional[int] = None
+    flow: Optional[FluidFlow] = None
+    reschedules: int = 0
+    #: Bytes completed by earlier flow generations (pre-reschedule).
+    banked: float = 0.0
+
+
+def _tenant_row() -> Dict[str, Any]:
+    return {"submitted": 0, "completed": 0, "shed": 0, "cancelled": 0,
+            "rescheduled": 0, "bytes": 0.0}
+
+
+class TransferBroker:
+    """One long-running transfer service over one :class:`RailFleet`."""
+
+    def __init__(self, ctx: Context, fleet: RailFleet,
+                 config: BrokerConfig = BrokerConfig(),
+                 workload: Optional[WorkloadConfig] = None,
+                 name: str = "service"):
+        self.ctx = ctx
+        self.fleet = fleet
+        self.config = config
+        self.name = name
+        self.stats = ServiceStats()
+        self.tenants: Dict[str, Dict[str, Any]] = {}
+        self._jobs: Dict[int, _Job] = {}
+        self._queue: Deque[_Job] = deque()
+        self._next_id = 1
+        self._cursor = 0  # fifo policy round-robin position
+        self._running_by_tenant: Dict[str, int] = {}
+        self._nominal = min(r.rate for r in fleet.rails)
+        self._budget = config.budget_fraction * fleet.total_rate
+        self._budget_used = 0.0
+        self._latencies: List[float] = []
+        self.generator: Optional[WorkloadGenerator] = None
+        if workload is not None:
+            self.generator = WorkloadGenerator(
+                ctx, workload, self.submit,
+                n_nodes=fleet.hosts[0].n_nodes)
+        # Fault integration is opt-in by plan: with no active injector
+        # the broker registers nothing and the hooks below never run.
+        inj = faults_active(ctx)
+        if inj is not None:
+            inj.add_transfer(name, self)
+
+    # -- ingress -----------------------------------------------------------
+    def serve(self) -> None:
+        """Start accepting the configured workload (begins arrivals)."""
+        if self.generator is None:
+            raise RuntimeError(f"broker {self.name!r} has no workload attached")
+        self.generator.start()
+
+    def drain(self) -> None:
+        """Stop the arrival process (running jobs keep going)."""
+        if self.generator is not None:
+            self.generator.stop()
+
+    def submit(self, tenant: str, size: float, touch_node: int = 0) -> Optional[int]:
+        """Submit one job; returns its session id, or None when shed."""
+        check_positive("size", size)
+        job = _Job(
+            job_id=self._next_id, tenant=tenant, size=float(size),
+            touch_node=touch_node, submitted_at=self.ctx.now,
+            remaining=float(size),
+        )
+        self._next_id += 1
+        self.stats.count_submitted()
+        row = self.tenants.setdefault(tenant, _tenant_row())
+        row["submitted"] += 1
+        self._jobs[job.job_id] = job
+        self._queue.append(job)
+        self._dispatch()
+        if job.state is JobState.QUEUED and len(self._queue) > self.config.max_queue:
+            # Bounded queue: the newcomer is shed, not an older job.
+            self._queue.remove(job)
+            job.state = JobState.SHED
+            job.finished_at = self.ctx.now
+            self.stats.count_shed()
+            row["shed"] += 1
+            return None
+        return job.job_id
+
+    # -- admission + dispatch ----------------------------------------------
+    def _admissible(self, job: _Job) -> bool:
+        if self._running_by_tenant.get(job.tenant, 0) >= self.config.tenant_quota:
+            return False
+        return self._budget_used + self._nominal <= self._budget
+
+    def _dispatch(self) -> None:
+        """Start every queued job that admission and placement allow.
+
+        Scans in FIFO order; jobs blocked on quota or budget are skipped
+        rather than head-of-line blocking unrelated tenants.
+        """
+        if not self._queue:
+            return
+        started: List[_Job] = []
+        for job in self._queue:
+            if not self._admissible(job):
+                continue
+            rail, buffer_node, self._cursor = pick_rail(
+                self.fleet.rails, self.config.policy, job.touch_node,
+                self._cursor)
+            if rail is None:
+                break  # no live rails: leave the queue intact
+            self._start(job, rail, buffer_node)
+            started.append(job)
+        for job in started:
+            self._queue.remove(job)
+
+    def _start(self, job: _Job, rail: Rail, buffer_node: int) -> None:
+        cal = self.ctx.cal
+        nic, peer = rail.nic, rail.peer
+        path = nic.dma_read_path(buffer_node)
+        path.append((rail.link.direction(nic), 1.0))
+        path += peer.dma_write_path(peer.node)
+        cap = rail.rate
+        if buffer_node != rail.node:
+            # Remote DMA read: the stream derates even uncontended (the
+            # placement penalty the paper's NUMA tuning removes).
+            cap *= cal.remote_access_derate
+            self.stats.count_remote_placement()
+        flow = FluidFlow(
+            path, size=job.remaining, cap=cap,
+            name=f"{self.name}-j{job.job_id}g{job.reschedules}",
+        )
+        job.state = JobState.RUNNING
+        job.rail = rail
+        job.buffer_node = buffer_node
+        job.flow = flow
+        if job.started_at is None:
+            job.started_at = self.ctx.now
+        rail.jobs[job] = None
+        self._running_by_tenant[job.tenant] = (
+            self._running_by_tenant.get(job.tenant, 0) + 1)
+        self._budget_used += self._nominal
+        done = self.ctx.fluid.start(flow)
+        done.add_callback(lambda _ev, job=job, flow=flow:
+                          self._on_done(job, flow))
+
+    def _release(self, job: _Job) -> None:
+        """Return the job's rail slot, quota and bandwidth credits."""
+        if job.rail is not None:
+            job.rail.jobs.pop(job, None)
+        self._running_by_tenant[job.tenant] -= 1
+        self._budget_used -= self._nominal
+        job.rail = None
+        job.flow = None
+
+    def _on_done(self, job: _Job, flow: FluidFlow) -> None:
+        # Cancel and reschedule paths stop the flow themselves (which
+        # also fires this callback) after updating the job's state, so
+        # anything but a RUNNING job on its current flow is stale here.
+        if job.state is not JobState.RUNNING or job.flow is not flow:
+            return
+        job.banked += flow.transferred
+        job.state = JobState.COMPLETED
+        job.finished_at = self.ctx.now
+        self._release(job)
+        latency = job.finished_at - job.submitted_at
+        self._latencies.append(latency)
+        self.stats.count_completed(job.size)
+        row = self.tenants[job.tenant]
+        row["completed"] += 1
+        row["bytes"] += job.size
+        self._dispatch()
+
+    # -- session API (the iscsi.global.sessions idiom) ---------------------
+    def _session_row(self, job: _Job) -> Dict[str, Any]:
+        transferred = job.banked
+        if job.flow is not None:
+            transferred += job.flow.transferred
+        return {
+            "id": job.job_id,
+            "tenant": job.tenant,
+            "state": job.state.value,
+            "size": job.size,
+            "transferred": transferred,
+            "rail": None if job.rail is None else job.rail.index,
+            "buffer_node": job.buffer_node,
+            "touch_node": job.touch_node,
+            "submitted_at": job.submitted_at,
+            "started_at": job.started_at,
+            "finished_at": job.finished_at,
+            "reschedules": job.reschedules,
+        }
+
+    def sessions(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Live (queued or running) sessions, oldest first."""
+        return [
+            self._session_row(job)
+            for job in self._jobs.values()
+            if job.state in (JobState.QUEUED, JobState.RUNNING)
+            and (tenant is None or job.tenant == tenant)
+        ]
+
+    def session(self, job_id: int) -> Dict[str, Any]:
+        """Inspect one session (any state); raises KeyError if unknown."""
+        return self._session_row(self._jobs[job_id])
+
+    def cancel(self, job_id: int) -> bool:
+        """Cancel a queued or running session; reclaims its credits.
+
+        Returns True if the job was cancelled, False if it had already
+        reached a terminal state.
+        """
+        job = self._jobs[job_id]
+        if job.state is JobState.QUEUED:
+            self._queue.remove(job)
+            job.state = JobState.CANCELLED
+        elif job.state is JobState.RUNNING:
+            flow = job.flow
+            job.state = JobState.CANCELLED
+            job.banked += self.ctx.fluid.stop(flow)
+            self._release(job)
+        else:
+            return False
+        job.finished_at = self.ctx.now
+        self.stats.count_cancelled()
+        self.tenants[job.tenant]["cancelled"] += 1
+        self._dispatch()
+        return True
+
+    # -- fault hooks (invoked by an active FaultInjector only) -------------
+    def _reschedule_rail(self, rail: Rail) -> None:
+        """Kill a dead rail's jobs and requeue their remaining bytes."""
+        victims = sorted(rail.jobs, key=lambda j: j.job_id)
+        for job in victims:
+            flow = job.flow
+            job.state = JobState.QUEUED  # before stop: staleness guard
+            job.banked += self.ctx.fluid.stop(flow)
+            self._release(job)
+            job.remaining = job.size - job.banked
+            job.reschedules += 1
+            self.stats.count_rescheduled()
+            self.tenants[job.tenant]["rescheduled"] += 1
+            if job.remaining <= _EPSILON_BYTES:
+                # it was done modulo float dust: count the completion
+                job.state = JobState.COMPLETED
+                job.finished_at = self.ctx.now
+                self._latencies.append(job.finished_at - job.submitted_at)
+                self.stats.count_completed(job.size)
+                done_row = self.tenants[job.tenant]
+                done_row["completed"] += 1
+                done_row["bytes"] += job.size
+        # Requeue in submit order ahead of newer arrivals.
+        for job in reversed(victims):
+            if job.state is JobState.QUEUED:
+                self._queue.appendleft(job)
+
+    def on_link_down(self, link, permanent: bool) -> None:
+        """Injector hook: a rail's link went dark — reschedule its jobs."""
+        rail = self.fleet.rail_for_link(link)
+        if rail is None or not rail.alive:
+            return
+        rail.alive = False
+        self._reschedule_rail(rail)
+        self._dispatch()
+
+    def on_link_up(self, link) -> None:
+        """Injector hook: a dead rail returned — resume scheduling on it."""
+        rail = self.fleet.rail_for_link(link)
+        if rail is None or rail.alive:
+            return
+        rail.alive = True
+        self._dispatch()
+
+    # -- telemetry ---------------------------------------------------------
+    @property
+    def running(self) -> int:
+        """Jobs currently running."""
+        return sum(rail.load for rail in self.fleet.rails)
+
+    @property
+    def queued(self) -> int:
+        """Jobs currently waiting in the admission queue."""
+        return len(self._queue)
+
+    def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> Dict[str, float]:
+        """Sojourn-time percentiles (seconds) over completed jobs."""
+        if not self._latencies:
+            return {f"p{q:g}": float("nan") for q in qs}
+        arr = np.asarray(self._latencies)
+        return {f"p{q:g}": float(np.percentile(arr, q)) for q in qs}
+
+    def summary(self) -> Dict[str, Any]:
+        """One leg's worth of broker metrics (JSON-canonical)."""
+        out: Dict[str, Any] = {
+            "policy": self.config.policy,
+            "rails": len(self.fleet.rails),
+            "running": self.running,
+            "queued": self.queued,
+            **self.stats.as_dict(),
+            **self.latency_percentiles(),
+            "tenants": {t: dict(row) for t, row in sorted(self.tenants.items())},
+        }
+        return out

@@ -1,0 +1,166 @@
+"""Workload generators: who submits transfer jobs, when, and how big.
+
+A :class:`WorkloadGenerator` is an ordinary simulation process that
+draws inter-arrival gaps, tenant identities, file sizes and first-touch
+NUMA nodes from four dedicated RNG streams —
+
+* ``service.arrivals`` — inter-arrival gaps (plus thinning draws for
+  the diurnal process),
+* ``service.sizes``    — file-size draws,
+* ``service.tenants``  — which tenant submits,
+* ``service.placement`` — the job buffer's first-touch node (what an
+  unpinned ``malloc`` would have done),
+
+so adding the service layer perturbs no other consumer of the
+registry (the repository's stream-per-component seed discipline,
+MODELING.md §6), and two runs at one seed submit byte-identical job
+streams regardless of scheduler policy — policies are compared on
+*placement*, never on workload noise.
+
+Arrival processes:
+
+* ``poisson`` — homogeneous, exponential gaps at ``rate`` jobs/s;
+* ``diurnal`` — nonhomogeneous Poisson via thinning: intensity
+  ``rate * (1 + depth*sin(2*pi*t/period)) / (1 + depth)`` peaks at
+  ``rate`` and dips to ``rate*(1-depth)/(1+depth)``.
+
+Size distributions (heavy-tailed, mean-parameterised):
+
+* ``lognormal`` — ``sigma`` controls the tail; the underlying ``mu`` is
+  solved so the draw mean equals ``size_mean``;
+* ``pareto``    — shape ``alpha`` (> 1), scale solved for the mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.context import Context
+from repro.util.units import MIB
+from repro.util.validation import check_positive
+
+__all__ = ["ARRIVALS", "SIZE_DISTS", "WorkloadConfig", "WorkloadGenerator"]
+
+#: Supported arrival processes.
+ARRIVALS = ("poisson", "diurnal")
+
+#: Supported file-size distributions.
+SIZE_DISTS = ("lognormal", "pareto")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """The job stream one broker serves."""
+
+    #: Aggregate arrival rate in jobs/second (peak rate for ``diurnal``).
+    rate: float = 20.0
+    arrival: str = "poisson"
+    #: Diurnal modulation depth in [0, 1) and period in seconds.
+    diurnal_depth: float = 0.6
+    diurnal_period: float = 30.0
+    size_dist: str = "lognormal"
+    #: Mean file size in bytes (the distribution is solved to this mean).
+    size_mean: float = 256 * MIB
+    #: Lognormal sigma (tail weight) — ~1 gives a 10x p99/mean spread.
+    lognormal_sigma: float = 1.0
+    #: Pareto shape; must be > 1 for the mean to exist.
+    pareto_alpha: float = 1.8
+    n_tenants: int = 8
+
+    def __post_init__(self) -> None:
+        check_positive("rate", self.rate)
+        check_positive("size_mean", self.size_mean)
+        check_positive("n_tenants", self.n_tenants)
+        if self.arrival not in ARRIVALS:
+            raise ValueError(
+                f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
+        if self.size_dist not in SIZE_DISTS:
+            raise ValueError(
+                f"size_dist must be one of {SIZE_DISTS}, got {self.size_dist!r}")
+        if not (0.0 <= self.diurnal_depth < 1.0):
+            raise ValueError(
+                f"diurnal_depth must be in [0, 1), got {self.diurnal_depth}")
+        check_positive("diurnal_period", self.diurnal_period)
+        check_positive("lognormal_sigma", self.lognormal_sigma)
+        if self.pareto_alpha <= 1.0:
+            raise ValueError(
+                f"pareto_alpha must be > 1, got {self.pareto_alpha}")
+
+
+class WorkloadGenerator:
+    """Drives job submissions into a broker as a simulation process.
+
+    ``submit(tenant, size_bytes, touch_node)`` is called at each
+    arrival; it is the broker's ingress (but any callable works, which
+    is what the unit tests exploit).  Nothing is scheduled and no RNG
+    stream is touched until :meth:`start` — a constructed-but-idle
+    generator is byte-invisible to the rest of the simulation.
+    """
+
+    def __init__(self, ctx: Context, config: WorkloadConfig,
+                 submit: Callable[[str, float, int], object],
+                 n_nodes: int = 2):
+        check_positive("n_nodes", n_nodes)
+        self.ctx = ctx
+        self.config = config
+        self.submit = submit
+        self.n_nodes = n_nodes
+        self.submitted = 0
+        self._stopped = False
+
+    # -- draws -------------------------------------------------------------
+    def _draw_size(self) -> float:
+        cfg = self.config
+        rng = self.ctx.rng.stream("service.sizes")
+        if cfg.size_dist == "lognormal":
+            sigma = cfg.lognormal_sigma
+            mu = math.log(cfg.size_mean) - 0.5 * sigma * sigma
+            return float(rng.lognormal(mu, sigma))
+        # pareto: scale solved so the mean is size_mean
+        alpha = cfg.pareto_alpha
+        xm = cfg.size_mean * (alpha - 1.0) / alpha
+        return float(xm * (1.0 + rng.pareto(alpha)))
+
+    def _draw_tenant(self) -> str:
+        rng = self.ctx.rng.stream("service.tenants")
+        return f"tenant{int(rng.integers(self.config.n_tenants))}"
+
+    def _draw_touch_node(self) -> int:
+        rng = self.ctx.rng.stream("service.placement")
+        return int(rng.integers(self.n_nodes))
+
+    def _intensity(self, t: float) -> float:
+        """Diurnal intensity at simulated time *t* (peak = config.rate)."""
+        cfg = self.config
+        depth = cfg.diurnal_depth
+        phase = math.sin(2.0 * math.pi * t / cfg.diurnal_period)
+        return cfg.rate * (1.0 + depth * phase) / (1.0 + depth)
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        """Begin submitting (schedules the arrival process)."""
+        self.ctx.sim.process(self._run(), name="service/arrivals")
+
+    def stop(self) -> None:
+        """Stop after the current gap (no further submissions)."""
+        self._stopped = True
+
+    def _run(self):
+        sim = self.ctx.sim
+        cfg = self.config
+        arrivals = self.ctx.rng.stream("service.arrivals")
+        while not self._stopped:
+            gap = float(arrivals.exponential(1.0 / cfg.rate))
+            yield sim.timeout(gap)
+            if self._stopped:
+                return
+            if cfg.arrival == "diurnal":
+                # Thinning: candidate points arrive at the peak rate and
+                # survive with probability intensity(t)/peak.
+                if arrivals.random() >= self._intensity(sim.now) / cfg.rate:
+                    continue
+            self.submitted += 1
+            self.submit(self._draw_tenant(), self._draw_size(),
+                        self._draw_touch_node())

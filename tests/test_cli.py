@@ -1,6 +1,8 @@
 """Tests for the CLI (`python -m repro`) and the EXPERIMENTS.md generator."""
 
 
+import pytest
+
 from repro.__main__ import main
 from repro.core.reportgen import generate_experiments_md
 
@@ -46,3 +48,69 @@ def test_generator_counts_checks():
     ok, total = nums.split("/")
     assert ok == total
     assert int(total) >= 65
+
+
+@pytest.mark.parametrize("bad", ["0", "-2", "two"])
+def test_cli_rejects_bad_jobs_count(bad, capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["report", "--jobs", bad])
+    assert exc.value.code == 2
+    err = capsys.readouterr().err
+    assert "--jobs" in err
+
+
+def test_cli_jobs_accepts_auto():
+    import argparse
+
+    from repro.__main__ import _jobs_type
+
+    assert _jobs_type("auto") == 0  # the executor's per-core sentinel
+    assert _jobs_type("3") == 3
+    with pytest.raises(argparse.ArgumentTypeError):
+        _jobs_type("0")
+
+
+def test_cli_rejects_bad_service_policy(capsys):
+    assert main(["run", "table1", "--service-policy", "bogus"]) == 2
+    assert "bad --service-policy" in capsys.readouterr().err
+
+
+def test_cli_rejects_bad_arrival_rate(capsys):
+    assert main(["run", "table1", "--arrival-rate", "-5"]) == 2
+    assert "bad --arrival-rate" in capsys.readouterr().err
+
+
+def test_cli_service_flags_exported(monkeypatch, capsys):
+    # main() writes os.environ directly, so clean up with pop (a
+    # monkeypatch.delenv here would *restore* the leaked value at
+    # teardown and poison later tests' plan() calls).
+    import os
+    monkeypatch.delenv("REPRO_SERVICE_POLICY", raising=False)
+    monkeypatch.delenv("REPRO_SERVICE_ARRIVAL", raising=False)
+    try:
+        assert main(["run", "table1", "--service-policy", "fifo",
+                     "--arrival-rate", "25"]) == 0
+        assert os.environ["REPRO_SERVICE_POLICY"] == "fifo"
+        assert float(os.environ["REPRO_SERVICE_ARRIVAL"]) == 25.0
+    finally:
+        os.environ.pop("REPRO_SERVICE_POLICY", None)
+        os.environ.pop("REPRO_SERVICE_ARRIVAL", None)
+
+
+def test_footer_stats_suppress_idle_subsystems():
+    """Disabled subsystems report None, so their footer lines vanish."""
+    stats: dict = {}
+    generate_experiments_md(quick=True, only={"table1"}, stats=stats)
+    assert stats["faults"] is None     # no plan, nothing injected
+    assert stats["service"] is None    # no broker ran
+    assert stats["fluid"] is not None  # always reported
+
+
+def test_footer_stats_report_active_subsystems():
+    stats: dict = {}
+    generate_experiments_md(quick=True, only={"service", "recovery"},
+                            stats=stats)
+    assert stats["service"] is not None
+    assert stats["service"]["submitted"] > 0
+    assert stats["faults"] is not None
+    assert stats["faults"]["faults_injected"] > 0

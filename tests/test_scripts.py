@@ -1,0 +1,122 @@
+"""The benchmark regression gate fails loudly, never silently.
+
+``scripts/check_bench_regression.py`` is CI's last line of defence: a
+corrupt baseline or an ungated result file must fail the build with the
+benchmark's name in the output, not degrade into a skipped comparison.
+These tests drive the script in-process (``main(argv)``) against
+temporary result/baseline trees.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_SCRIPT = (pathlib.Path(__file__).resolve().parent.parent
+           / "scripts" / "check_bench_regression.py")
+
+_spec = importlib.util.spec_from_file_location("check_bench_regression",
+                                               _SCRIPT)
+gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(gate)
+
+
+def _result(events_per_sec=1000.0, all_ok=True, checks=()):
+    return {
+        "all_ok": all_ok,
+        "events_per_sec": events_per_sec,
+        "checks": list(checks),
+    }
+
+
+def _write(path: pathlib.Path, data) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data) if not isinstance(data, str) else data)
+
+
+@pytest.fixture
+def tree(tmp_path):
+    """Matching baseline/fresh pair for one healthy benchmark."""
+    baselines = tmp_path / "baselines"
+    results = tmp_path / "results"
+    _write(baselines / "fig99.json", _result())
+    _write(results / "fig99.json", _result())
+    return baselines, results
+
+
+def _run(baselines, results, capsys):
+    rc = gate.main(["--baselines", str(baselines), "--results", str(results)])
+    return rc, capsys.readouterr().out
+
+
+def test_gate_passes_on_matching_tree(tree, capsys):
+    baselines, results = tree
+    rc, out = _run(baselines, results, capsys)
+    assert rc == 0
+    assert "OK" in out
+
+
+def test_malformed_baseline_fails_and_names_benchmark(tree, capsys):
+    baselines, results = tree
+    _write(baselines / "fig99.json", "{not json")
+    rc, out = _run(baselines, results, capsys)
+    assert rc != 0
+    assert "fig99" in out
+    assert "malformed baseline" in out
+
+
+def test_malformed_fresh_result_fails_and_names_benchmark(tree, capsys):
+    baselines, results = tree
+    _write(results / "fig99.json", '["a", "list"]')
+    rc, out = _run(baselines, results, capsys)
+    assert rc != 0
+    assert "fig99" in out
+    assert "malformed fresh result" in out
+
+
+def test_result_without_baseline_fails_and_names_benchmark(tree, capsys):
+    baselines, results = tree
+    _write(results / "fig42.json", _result())
+    rc, out = _run(baselines, results, capsys)
+    assert rc != 0
+    assert "fig42" in out
+    assert "no committed baseline" in out
+
+
+def test_missing_fresh_result_fails_and_names_benchmark(tree, capsys):
+    baselines, results = tree
+    (results / "fig99.json").unlink()
+    rc, out = _run(baselines, results, capsys)
+    assert rc != 0
+    assert "fig99" in out
+    assert "no fresh result" in out
+
+
+def test_empty_baselines_dir_is_a_bad_invocation(tmp_path, capsys):
+    baselines = tmp_path / "baselines"
+    baselines.mkdir()
+    results = tmp_path / "results"
+    results.mkdir()
+    rc, out = _run(baselines, results, capsys)
+    assert rc == 2
+    assert "no baselines" in out
+
+
+def test_perf_regression_still_fails(tree, capsys):
+    baselines, results = tree
+    _write(results / "fig99.json", _result(events_per_sec=100.0))
+    rc, out = _run(baselines, results, capsys)
+    assert rc == 1
+    assert "regressed" in out
+
+
+def test_check_drift_still_fails(tree, capsys):
+    baselines, results = tree
+    check_b = {"metric": "goodput", "measured": 10, "ok": True}
+    check_f = {"metric": "goodput", "measured": 11, "ok": True}
+    _write(baselines / "fig99.json", _result(checks=[check_b]))
+    _write(results / "fig99.json", _result(checks=[check_f]))
+    rc, out = _run(baselines, results, capsys)
+    assert rc == 1
+    assert "drifted" in out

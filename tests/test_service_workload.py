@@ -1,0 +1,110 @@
+"""Workload generators: seeded determinism, distributions, arrival shapes."""
+
+import math
+
+import pytest
+
+from repro.service import WorkloadConfig, WorkloadGenerator
+from repro.sim.context import Context
+from repro.util.units import MIB
+
+
+def _collect(config, seed, until=20.0, n_nodes=2):
+    """Run a generator against a recording sink; returns the submissions."""
+    ctx = Context.create(seed=seed)
+    events = []
+    gen = WorkloadGenerator(
+        ctx, config,
+        lambda tenant, size, node: events.append(
+            (ctx.now, tenant, size, node)),
+        n_nodes=n_nodes)
+    gen.start()
+    ctx.sim.run(until=until)
+    return events
+
+
+def test_same_seed_same_submissions():
+    cfg = WorkloadConfig(rate=40.0)
+    a = _collect(cfg, seed=42)
+    b = _collect(cfg, seed=42)
+    assert a and a == b
+
+
+def test_different_seeds_differ():
+    cfg = WorkloadConfig(rate=40.0)
+    assert _collect(cfg, seed=1) != _collect(cfg, seed=2)
+
+
+def test_poisson_rate_roughly_honored():
+    events = _collect(WorkloadConfig(rate=50.0), seed=0, until=40.0)
+    # ~2000 expected; 5 sigma is ~220
+    assert 1700 < len(events) < 2300
+
+
+def test_diurnal_thins_below_peak():
+    peak = WorkloadConfig(rate=50.0, arrival="poisson")
+    diurnal = WorkloadConfig(rate=50.0, arrival="diurnal", diurnal_depth=0.8)
+    n_peak = len(_collect(peak, seed=0, until=60.0))
+    n_diurnal = len(_collect(diurnal, seed=0, until=60.0))
+    # mean diurnal intensity is rate/(1+depth) = rate/1.8
+    assert n_diurnal < 0.75 * n_peak
+
+
+@pytest.mark.parametrize("dist", ["lognormal", "pareto"])
+def test_size_distributions_hit_their_mean(dist):
+    cfg = WorkloadConfig(rate=200.0, size_dist=dist, size_mean=64 * MIB)
+    sizes = [size for _, _, size, _ in _collect(cfg, seed=3, until=60.0)]
+    assert len(sizes) > 5000
+    mean = sum(sizes) / len(sizes)
+    # heavy-tailed, so the sample mean converges slowly; 25% is generous
+    assert mean == pytest.approx(64 * MIB, rel=0.25)
+    assert min(sizes) > 0
+
+
+def test_tenants_and_nodes_within_bounds():
+    cfg = WorkloadConfig(rate=100.0, n_tenants=4)
+    events = _collect(cfg, seed=5, until=10.0, n_nodes=2)
+    tenants = {t for _, t, _, _ in events}
+    nodes = {n for _, _, _, n in events}
+    assert tenants <= {f"tenant{i}" for i in range(4)}
+    assert len(tenants) > 1  # actually multi-tenant
+    assert nodes == {0, 1}
+
+
+def test_idle_generator_is_byte_invisible():
+    """Constructing (but not starting) a generator perturbs nothing."""
+    def _run(with_idle):
+        ctx = Context.create(seed=9)
+        if with_idle:
+            WorkloadGenerator(ctx, WorkloadConfig(), lambda *a: None)
+        draws = ctx.rng.stream("probe").random(4).tolist()
+        ctx.sim.run(until=1.0)
+        return draws, ctx.now
+
+    assert _run(False) == _run(True)
+
+
+def test_stop_halts_submissions():
+    ctx = Context.create(seed=1)
+    events = []
+    gen = WorkloadGenerator(ctx, WorkloadConfig(rate=50.0),
+                            lambda *a: events.append(ctx.now))
+    gen.start()
+    ctx.sim.run(until=5.0)
+    gen.stop()
+    n = len(events)
+    ctx.sim.run(until=20.0)
+    assert len(events) == n > 0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        WorkloadConfig(rate=0.0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(arrival="bursty")
+    with pytest.raises(ValueError):
+        WorkloadConfig(size_dist="uniform")
+    with pytest.raises(ValueError):
+        WorkloadConfig(diurnal_depth=1.0)
+    with pytest.raises(ValueError):
+        WorkloadConfig(pareto_alpha=1.0)
