@@ -1,0 +1,214 @@
+"""Batched-solver microbenchmark: 64 scenarios as one NumPy program.
+
+Drives :class:`~repro.sim.fluid.GangFluidProgram` directly with a dense
+synthetic grid — 64 scenarios of one 24-resource, 96-flow program whose
+capacities sweep a per-scenario scale — against the reference: the same
+64 scenarios run one :class:`~repro.sim.fluid.FluidScheduler` event
+simulation at a time.  This is the tentpole number for gang execution:
+where the scenario axis is pure numerics (no event feedback), batching
+replaces S interpreter-driven event loops with one vectorized
+water-filling whose rounds cover every scenario at once.
+
+The checks hold every per-scenario observable (bytes, completion times,
+charge totals) to 1e-6 against the event kernel — the max-min fair
+allocation is unique, so agreement is exact up to float noise — and pin
+the deterministic defection count (scenarios whose completion *order*
+diverges from the pilot; their numbers still agree, but an event-coupled
+caller would have to defect them, so the count is part of the contract).
+
+The ≥5x floor is the acceptance criterion (measured ~100x here; CI
+machines are noisy, the floor is the guarantee).  Refresh the committed
+baseline with::
+
+    PYTHONPATH=src python -m pytest -q benchmarks/bench_gang_solver.py
+    cp benchmarks/results/gang_solver.json benchmarks/baselines/
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.kernel.accounting import CpuAccounting
+from repro.sim import FluidFlow, FluidResource, FluidScheduler, Simulator
+from repro.sim.fluid import GangFluidProgram
+
+N_SCENARIOS = 64
+N_RESOURCES = 24
+N_FLOWS = 96
+DURATION = 40.0
+SEED = 20130417
+#: The gang acceptance floor: one batched program must beat S event runs
+#: by at least this much on the full grid.
+MIN_SPEEDUP = float(os.environ.get("REPRO_GANG_SOLVER_MIN_SPEEDUP", "5.0"))
+
+
+def _build_grid(rng: random.Random):
+    """One deterministic scenario grid, shared by both execution paths."""
+    base_caps = [rng.uniform(50.0, 400.0) for _ in range(N_RESOURCES)]
+    scale = [0.5 + 1.5 * s / (N_SCENARIOS - 1) for s in range(N_SCENARIOS)]
+    flows = []
+    for _ in range(N_FLOWS):
+        n_res = rng.randint(2, 5)
+        path = [(r, rng.uniform(0.5, 2.0))
+                for r in rng.sample(range(N_RESOURCES), n_res)]
+        size = rng.uniform(200.0, 8000.0) if rng.random() < 0.8 else None
+        cap = rng.uniform(10.0, 300.0) if rng.random() < 0.3 else None
+        charge = ("usr_proto", rng.uniform(1e-4, 1e-3))
+        flows.append((path, size, cap, charge))
+    return base_caps, scale, flows
+
+
+def _run_scalar(grid) -> dict:
+    """All scenarios, one FluidScheduler event simulation at a time."""
+    base_caps, scale, flows = grid
+    transferred, finished, charge_totals = [], [], []
+    events_before = Simulator.events_processed_total
+    t0 = time.perf_counter()
+    for s in range(N_SCENARIOS):
+        sim = Simulator()
+        sched = FluidScheduler(sim)
+        resources = [FluidResource(sched, c * scale[s], f"r{i}")
+                     for i, c in enumerate(base_caps)]
+        ledger = CpuAccounting("gangbench")
+        objs = []
+        for i, (path, size, cap, (cat, per_byte)) in enumerate(flows):
+            flow = FluidFlow([(resources[r], w) for r, w in path],
+                             size=size, cap=cap,
+                             charges=[(ledger.account(cat), per_byte)],
+                             name=f"f{i}")
+            objs.append(flow)
+            sched.start(flow)
+        sim.run(until=DURATION)
+        sched.settle()
+        transferred.append([f.transferred for f in objs])
+        finished.append([
+            f.finished_at if f.size is not None and not f._active else None
+            for f in objs
+        ])
+        charge_totals.append(ledger.total_seconds)
+        for f in objs:
+            if f._active:
+                sched.stop(f)
+    return {
+        "wall": time.perf_counter() - t0,
+        "events": Simulator.events_processed_total - events_before,
+        "transferred": transferred,
+        "finished_at": finished,
+        "charge_totals": charge_totals,
+    }
+
+
+def _run_gang(grid) -> dict:
+    """All scenarios as one batched GangFluidProgram."""
+    base_caps, scale, flows = grid
+    scale_v = np.asarray(scale)
+    t0 = time.perf_counter()
+    program = GangFluidProgram(N_SCENARIOS)
+    rids = [program.add_resource(c * scale_v, name=f"r{i}")
+            for i, c in enumerate(base_caps)]
+    for i, (path, size, cap, (cat, per_byte)) in enumerate(flows):
+        program.add_flow([(rids[r], w) for r, w in path], size=size, cap=cap,
+                         charges=[(cat, per_byte)], name=f"f{i}")
+    result = program.run_steady(DURATION)
+    return {
+        "wall": time.perf_counter() - t0,
+        "result": result,
+        "charge_totals": program.charged["usr_proto"],
+    }
+
+
+def _agree(a, b, rel=1e-6):
+    if a is None or b is None:
+        return a is b
+    return abs(a - b) <= rel * max(1.0, abs(a), abs(b))
+
+
+def test_gang_solver_grid(results_dir):
+    grid = _build_grid(random.Random(SEED))
+
+    # Interleave repetitions so machine-load drift hits both paths;
+    # score each path by its best (least-disturbed) wall.
+    runs = {"scalar": [], "gang": []}
+    for _ in range(3):
+        runs["scalar"].append(_run_scalar(grid))
+        runs["gang"].append(_run_gang(grid))
+    sc, gg = runs["scalar"][0], runs["gang"][0]
+    wall_scalar = min(r["wall"] for r in runs["scalar"])
+    wall_gang = min(r["wall"] for r in runs["gang"])
+    speedup = wall_scalar / wall_gang if wall_gang > 0 else 0.0
+
+    result = gg["result"]
+    bytes_agree = all(
+        _agree(result.transferred[s, j], sc["transferred"][s][j])
+        for s in range(N_SCENARIOS) for j in range(N_FLOWS)
+    )
+    times_agree = all(
+        _agree(result.finished_at[s, j]
+               if np.isfinite(result.finished_at[s, j]) else None,
+               sc["finished_at"][s][j])
+        for s in range(N_SCENARIOS) for j in range(N_FLOWS)
+    )
+    charges_agree = all(
+        _agree(gg["charge_totals"][s], sc["charge_totals"][s])
+        for s in range(N_SCENARIOS)
+    )
+    defected = int(result.defected.sum())
+    checks = [
+        ("transferred-bytes-agree", True, bytes_agree, bytes_agree),
+        ("completion-times-agree", True, times_agree, times_agree),
+        ("charge-totals-agree", True, charges_agree, charges_agree),
+        # Deterministic for the fixed seed: caps stay fixed while
+        # capacities sweep, so completion order shifts in a known subset.
+        ("order-divergent scenarios", 45, defected, defected == 45),
+        ("rounds", result.rounds, result.rounds,
+         result.rounds <= N_FLOWS + 1),
+    ]
+    all_ok = all(ok for _, _, _, ok in checks)
+
+    payload = {
+        "name": "gang_solver",
+        "experiment_id": "gang-solver-grid",
+        "quick": True,
+        "ops": N_SCENARIOS * N_FLOWS,
+        "wall_seconds": wall_gang,
+        "events_per_sec": (N_SCENARIOS * N_FLOWS / wall_gang
+                           if wall_gang > 0 else 0.0),
+        "jobs": 1,
+        "cache": None,
+        "all_ok": all_ok,
+        "checks": [
+            {"metric": m, "paper": repr(p), "measured": repr(v), "ok": ok}
+            for m, p, v, ok in checks
+        ],
+        # Microbenchmark extras (ignored by the gate, kept for humans):
+        "wall_scalar": wall_scalar,
+        "wall_gang": wall_gang,
+        "speedup": speedup,
+        "scalar_events": sc["events"],
+        "n_scenarios": N_SCENARIOS,
+        "n_resources": N_RESOURCES,
+        "n_flows": N_FLOWS,
+    }
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "gang_solver.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\ngang solver grid: scalar {wall_scalar * 1e3:.1f} ms "
+          f"({N_SCENARIOS} event runs), gang {wall_gang * 1e3:.1f} ms "
+          f"-> {speedup:.1f}x ({result.rounds} rounds, "
+          f"{defected} order-divergent)")
+
+    assert all_ok, "gang solver diverged: " + ", ".join(
+        f"{m} (expected={p!r}, measured={v!r})"
+        for m, p, v, ok in checks if not ok
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"gang solver speedup {speedup:.1f}x below floor "
+        f"{MIN_SPEEDUP:.1f}x (scalar {wall_scalar:.3f}s, "
+        f"gang {wall_gang:.4f}s)"
+    )

@@ -71,7 +71,8 @@ def _apply_faults_flag(args) -> int:
 
 def cmd_run(args) -> int:
     """Run one experiment (or all) and print its report."""
-    rc = _apply_faults_flag(args) or _apply_service_flags(args)
+    rc = (_apply_faults_flag(args) or _apply_service_flags(args)
+          or _apply_gang_flag(args))
     if rc:
         return rc
     mods = _all_modules()
@@ -98,7 +99,8 @@ def cmd_run(args) -> int:
 
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
-    rc = _apply_faults_flag(args) or _apply_service_flags(args)
+    rc = (_apply_faults_flag(args) or _apply_service_flags(args)
+          or _apply_gang_flag(args))
     if rc:
         return rc
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -153,6 +155,12 @@ def cmd_report(args) -> int:
               f"shed={service['shed']}  "
               f"rescheduled={service['rescheduled']}  "
               f"remote_placements={service['remote_placements']}")
+    gang = stats.get("gang")
+    if gang is not None:
+        print(f"[gang] scenarios_ganged={gang['scenarios_ganged']}  "
+              f"defected={gang['scenarios_defected']}  "
+              f"solo={gang['scenarios_solo']}  "
+              f"groups={gang['groups']}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
@@ -220,6 +228,23 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "REPRO_SERVICE_ARRIVAL; part of the result-cache identity)")
 
 
+def _add_gang_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gang", default=None, choices=("auto", "off"),
+        help="gang execution of dense scenario sweeps: 'auto' batches "
+        "grids sharing a gang kernel into one scenario-axis program, "
+        "'off' forces the per-task path (sets REPRO_GANG; results are "
+        "byte-identical either way — only the wall clock changes)")
+
+
+def _apply_gang_flag(args) -> int:
+    """Export ``--gang`` as REPRO_GANG (inherited by worker processes)."""
+    mode = getattr(args, "gang", None)
+    if mode is not None:
+        os.environ["REPRO_GANG"] = mode
+    return 0
+
+
 def _apply_service_flags(args) -> int:
     """Export the service-experiment knobs (inherited by workers).
 
@@ -270,6 +295,7 @@ def main(argv=None) -> int:
     _add_jobs_flag(p_run)
     _add_faults_flag(p_run)
     _add_service_flags(p_run)
+    _add_gang_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
     p_rep = sub.add_parser(
@@ -288,6 +314,7 @@ def main(argv=None) -> int:
     _add_jobs_flag(p_rep)
     _add_faults_flag(p_rep)
     _add_service_flags(p_rep)
+    _add_gang_flag(p_rep)
     p_rep.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",
         help="directory of the content-addressed result cache "

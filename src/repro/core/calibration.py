@@ -52,7 +52,8 @@ from dataclasses import dataclass
 
 from repro.util.units import MIB, gbps
 
-__all__ = ["Calibration", "CALIBRATION"]
+__all__ = ["Calibration", "CALIBRATION", "TrackingCalibration",
+           "tracking_calibration"]
 
 
 @dataclass(frozen=True)
@@ -233,3 +234,40 @@ class Calibration:
 
 #: The library-wide default calibration (the paper's testbed).
 CALIBRATION = Calibration()
+
+#: Every constant's field name (the tracking subclass intercepts these).
+_FIELD_NAMES = frozenset(f.name for f in dataclasses.fields(Calibration))
+
+
+class TrackingCalibration(Calibration):
+    """A :class:`Calibration` that records which constants are read.
+
+    Used by gang execution (:mod:`repro.exec.gang`) to learn the exact
+    read-set of one scenario evaluation: any simulation whose
+    calibration agrees on every *recorded* field is guaranteed to take
+    the identical execution path, so its result can be shared without
+    re-running.  Values are bit-identical to the wrapped calibration —
+    only attribute lookup is intercepted — so a run under tracking is
+    byte-equal to a run without it.
+
+    Copies made via ``replace``/``dataclasses.replace``/``asdict`` read
+    every field of the source, which conservatively marks the whole
+    calibration as read; the copy itself is untracked, which is then
+    harmless (nothing finer-grained than "everything" remains to learn).
+    """
+
+    def __getattribute__(self, name: str):
+        if name in _FIELD_NAMES:
+            sink = object.__getattribute__(self, "__dict__").get("_gang_reads")
+            if sink is not None:
+                sink.add(name)
+        return object.__getattribute__(self, name)
+
+
+def tracking_calibration(cal: Calibration, sink: set) -> TrackingCalibration:
+    """A tracked copy of *cal* recording every constant read into *sink*."""
+    tracked = TrackingCalibration(
+        **{name: object.__getattribute__(cal, name) for name in _FIELD_NAMES}
+    )
+    object.__setattr__(tracked, "_gang_reads", sink)
+    return tracked

@@ -12,6 +12,7 @@ from repro.apps.iperf import run_iperf
 from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
 from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
+from repro.exec import SimTask, gang_calgrid, run_tasks
 from repro.hw.nic import Nic, NicKind
 from repro.hw.topology import Machine
 from repro.net.link import connect
@@ -19,7 +20,7 @@ from repro.net.topology import LAN_ROCE_DELAY
 from repro.sim.context import Context
 from repro.util.units import to_gbps
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble", "rftp_leg", "iperf_leg"]
 
 
 def _pair(ctx: Context, mtu: int):
@@ -31,10 +32,45 @@ def _pair(ctx: Context, mtu: int):
     return a, b
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+def rftp_leg(*, seed: int, cal: Calibration | None, mtu: int,
+             duration: float) -> float:
+    """RFTP goodput over one RoCE link at *mtu* (SimTask target)."""
+    ctx = Context.create(seed=seed, cal=cal)
+    a, b = _pair(ctx, mtu)
+    res = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                       config=RftpConfig(streams_per_link=2)).run(duration)
+    return res.goodput
+
+
+def iperf_leg(*, seed: int, cal: Calibration | None, mtu: int,
+              duration: float) -> tuple[float, float]:
+    """iperf ``(aggregate_rate, aggregate_gbps)`` at *mtu* (SimTask target)."""
+    ctx = Context.create(seed=seed, cal=cal)
+    a, b = _pair(ctx, mtu)
+    ires = run_iperf(ctx, a, b, duration=duration, streams_per_link=4,
+                     bidirectional=False, numa_tuned=True)
+    return ires.aggregate_rate, ires.aggregate_gbps
+
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> list[SimTask]:
+    """Both tools at both MTUs: four independent, gang-eligible legs."""
     duration = 15.0 if quick else 120.0
+    module = "repro.core.experiments.ablation_mtu"
+    tasks = []
+    for mtu in (1500, 9000):
+        tasks.append(gang_calgrid(SimTask(
+            f"{module}:rftp_leg", {"mtu": mtu, "duration": duration},
+            seed=seed, cal=cal, label=f"A7 RFTP mtu={mtu}")))
+        tasks.append(gang_calgrid(SimTask(
+            f"{module}:iperf_leg", {"mtu": mtu, "duration": duration},
+            seed=seed + 1, cal=cal, label=f"A7 iperf mtu={mtu}")))
+    return tasks
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the four legs' rates."""
     report = ExperimentReport(
         "ablation-mtu",
         "A7 (extension): MTU 1500 vs 9000 on one 40G RoCE link, "
@@ -42,20 +78,14 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
         data_headers=["tool", "MTU", "Gbps"],
     )
     rates = {}
+    it = iter(results)
     for mtu in (1500, 9000):
-        ctx = Context.create(seed=seed, cal=cal)
-        a, b = _pair(ctx, mtu)
-        res = RftpTransfer(ctx, a, b, source="zero", sink="null",
-                           config=RftpConfig(streams_per_link=2)).run(duration)
-        rates[("rftp", mtu)] = res.goodput
-        report.add_row(["RFTP", mtu, round(to_gbps(res.goodput), 1)])
-
-        ctx2 = Context.create(seed=seed + 1, cal=cal)
-        a2, b2 = _pair(ctx2, mtu)
-        ires = run_iperf(ctx2, a2, b2, duration=duration, streams_per_link=4,
-                         bidirectional=False, numa_tuned=True)
-        rates[("tcp", mtu)] = ires.aggregate_rate
-        report.add_row(["iperf/TCP", mtu, round(ires.aggregate_gbps, 1)])
+        goodput = next(it)
+        rates[("rftp", mtu)] = goodput
+        report.add_row(["RFTP", mtu, round(to_gbps(goodput), 1)])
+        aggregate_rate, aggregate_gbps = next(it)
+        rates[("tcp", mtu)] = aggregate_rate
+        report.add_row(["iperf/TCP", mtu, round(aggregate_gbps, 1)])
 
     rftp_penalty = 1.0 - rates[("rftp", 1500)] / rates[("rftp", 9000)]
     tcp_penalty = 1.0 - rates[("tcp", 1500)] / rates[("tcp", 9000)]
@@ -67,3 +97,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
                      "yes" if tcp_penalty > rftp_penalty else "no",
                      ok=tcp_penalty > rftp_penalty)
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
+from repro.exec import SimTask, gang_calgrid, run_tasks
 from repro.hw.nic import Nic, NicKind
 from repro.hw.topology import Machine
 from repro.kernel.numa import NumaPolicy
@@ -21,12 +22,13 @@ from repro.rdma.verbs import Opcode
 from repro.sim.context import Context
 from repro.util.units import GIB, to_gbps
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble", "measure_leg"]
 
 PAPER_RATIO = 1.075
 
 
-def _measure(opcode: Opcode, seed: int, cal: Calibration | None) -> float:
+def measure_leg(*, seed: int, cal: Calibration | None, opcode: str) -> float:
+    """One bulk-channel throughput measurement (SimTask target)."""
     ctx = Context.create(seed=seed, cal=cal)
     a = Machine(ctx, "a", pcie_sockets=(0,))
     b = Machine(ctx, "b", pcie_sockets=(0,))
@@ -38,7 +40,8 @@ def _measure(opcode: Opcode, seed: int, cal: Calibration | None) -> float:
     pd_a, pd_b = ProtectionDomain(a), ProtectionDomain(b)
     src = pd_a.register(place_region(1 * GIB, NumaPolicy.bind(0), 2))
     dst = pd_b.register(place_region(1 * GIB, NumaPolicy.bind(0), 2))
-    flow = qp_a.bulk_channel(src_mr=src, dst_mr=dst, opcode=opcode, name="bulk")
+    flow = qp_a.bulk_channel(src_mr=src, dst_mr=dst, opcode=Opcode[opcode],
+                             name="bulk")
     ctx.fluid.start(flow)
     ctx.sim.run(until=ctx.sim.now + 10.0)
     ctx.fluid.settle()
@@ -47,19 +50,37 @@ def _measure(opcode: Opcode, seed: int, cal: Calibration | None) -> float:
     return rate
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> list[SimTask]:
+    """The two opcode measurements as independent, gang-eligible legs."""
+    target = "repro.core.experiments.ablation_rdma_ops:measure_leg"
+    return [
+        gang_calgrid(SimTask(target, {"opcode": "RDMA_WRITE"}, seed=seed,
+                             cal=cal, label="A4 RDMA WRITE")),
+        gang_calgrid(SimTask(target, {"opcode": "RDMA_READ"}, seed=seed + 1,
+                             cal=cal, label="A4 RDMA READ")),
+    ]
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the two legs' rates."""
+    write_rate, read_rate = results
     report = ExperimentReport(
         "ablation-rdma-ops",
         "A4: one-sided RDMA WRITE vs RDMA READ bulk throughput (IB FDR)",
         data_headers=["opcode", "Gbps"],
     )
-    write_rate = _measure(Opcode.RDMA_WRITE, seed, cal)
-    read_rate = _measure(Opcode.RDMA_READ, seed + 1, cal)
     report.add_row(["RDMA WRITE", round(to_gbps(write_rate), 2)])
     report.add_row(["RDMA READ", round(to_gbps(read_rate), 2)])
     ratio = write_rate / read_rate
     report.add_check("WRITE/READ throughput ratio", f"{PAPER_RATIO:.3f}x",
                      f"{ratio:.3f}x", ok=1.03 < ratio < 1.12)
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -17,9 +17,10 @@ from repro.core.calibration import Calibration
 from repro.core.report import ExperimentReport
 from repro.core.system import EndToEndSystem
 from repro.core.tuning import TuningPolicy
+from repro.exec import SimTask, gang_calgrid, run_tasks
 from repro.util.units import GB, to_gbps
 
-__all__ = ["run"]
+__all__ = ["run", "plan", "assemble", "tuned_leg"]
 
 CONFIGS = (
     ("nothing tuned", TuningPolicy(target_tuning="default", bind_apps=False,
@@ -32,20 +33,38 @@ CONFIGS = (
 )
 
 
-def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
-        ) -> ExperimentReport:
-    """Run the experiment; returns the paper-vs-measured report."""
+def tuned_leg(*, seed: int, cal: Calibration | None, config: str,
+              duration: float) -> float:
+    """End-to-end RFTP goodput under one named tuning (SimTask target)."""
+    policy = dict(CONFIGS)[config]
+    system = EndToEndSystem.lan_testbed(policy, seed=seed, cal=cal,
+                                        lun_size=2 * GB)
+    return system.run_rftp_transfer(duration=duration).goodput
+
+
+def plan(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> list[SimTask]:
+    """The four tuning configurations as independent, gang-eligible legs."""
     duration = 20.0 if quick else 300.0
+    return [
+        gang_calgrid(SimTask(
+            "repro.core.experiments.ablation_tuning_value:tuned_leg",
+            {"config": label, "duration": duration},
+            seed=seed + i, cal=cal, label=f"A12 {label}"))
+        for i, (label, _policy) in enumerate(CONFIGS)
+    ]
+
+
+def assemble(results, quick: bool = True, seed: int = 0,
+             cal: Calibration | None = None) -> ExperimentReport:
+    """Build the paper-vs-measured report from the four legs' goodputs."""
     report = ExperimentReport(
         "ablation-tuning-value",
         "A12 (extension): composed value of NUMA tuning for end-to-end RFTP",
         data_headers=["configuration", "RFTP Gbps", "vs untuned"],
     )
-    rates = {}
-    for i, (label, policy) in enumerate(CONFIGS):
-        system = EndToEndSystem.lan_testbed(policy, seed=seed + i, cal=cal,
-                                            lun_size=2 * GB)
-        rates[label] = system.run_rftp_transfer(duration=duration).goodput
+    rates = {label: goodput
+             for (label, _policy), goodput in zip(CONFIGS, results)}
     base = rates["nothing tuned"]
     for label, _ in CONFIGS:
         report.add_row([label, round(to_gbps(rates[label]), 1),
@@ -82,3 +101,10 @@ def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
         "experiment.)"
     )
     return report
+
+
+def run(quick: bool = True, seed: int = 0, cal: Calibration | None = None
+        ) -> ExperimentReport:
+    """Run the experiment; returns the paper-vs-measured report."""
+    results = run_tasks(plan(quick=quick, seed=seed, cal=cal))
+    return assemble(results, quick=quick, seed=seed, cal=cal)

@@ -13,20 +13,32 @@ paper's qualitative anchors:
 For each (constant, direction) the analysis records whether every shape
 survives.  Shapes that flip under small perturbations would indicate the
 reproduction is an artifact of tuning rather than mechanism.
+
+Each shape decomposes into independent **legs** — one seeded simulation
+each (the four fio runs behind Fig. 7, the RFTP and GridFTP transfers
+behind Fig. 9, and so on) — and a shape predicate is a pure combiner
+over its legs' measurements.  The per-cell path runs a cell's legs
+directly; the grid's gang kernel (:func:`gang_cells`) runs every leg
+across *all* cells at once through
+:func:`repro.exec.gang.run_projected`, sharing evaluations between
+cells whose perturbed calibrations agree on everything the leg actually
+reads.  Both paths execute the identical leg code with identical
+calibration values, so their results are bit-for-bit equal.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.calibration import CALIBRATION, Calibration
-from repro.exec import SimTask, run_tasks
+from repro.exec import GangSpec, SimTask, run_tasks
+from repro.exec.task import _canonical
 from repro.util.tables import Table
 
 __all__ = ["SHAPES", "PERTURBED_CONSTANTS", "SensitivityResult",
            "run_sensitivity", "sensitivity_cell", "sensitivity_tasks",
-           "assemble_sensitivity"]
+           "assemble_sensitivity", "gang_cells"]
 
 #: the constants whose values were calibrated (not taken from specs).
 PERTURBED_CONSTANTS = (
@@ -41,8 +53,12 @@ PERTURBED_CONSTANTS = (
 )
 
 
-def _shape_fig7(cal: Calibration) -> bool:
-    """Write tuning gain exceeds read tuning gain (both >= 1)."""
+# ---------------------------------------------------------------------------
+# Legs: one independent seeded simulation each.
+# ---------------------------------------------------------------------------
+
+def _leg_fio(cal: Calibration, tuning: str, rw: str) -> float:
+    """One fio run of the Fig. 7 iSER testbed; returns the bandwidth."""
     from repro.apps.fio import FioJob, run_fio
     from repro.hw.presets import backend_lan_host, frontend_lan_host
     from repro.net.topology import wire_san
@@ -51,100 +67,153 @@ def _shape_fig7(cal: Calibration) -> bool:
     from repro.storage.target import IserTarget
     from repro.util.units import GB, MIB
 
-    rates: Dict[Tuple[str, str], float] = {}
-    for tuning in ("default", "numa"):
-        for rw in ("read", "write"):
-            ctx = Context.create(seed=1, cal=cal)
-            front = frontend_lan_host(ctx, "f", with_ib=True)
-            back = backend_lan_host(ctx, "b")
-            wire_san(ctx, front, back)
-            target = IserTarget(ctx, back, tuning=tuning, n_links=2)
-            for _ in range(6):
-                target.create_lun(GB)
-            ini = IserInitiator(ctx, front, target)
-            ctx.sim.run(until=ini.login_all())
-            devices = [ini.devices[i] for i in sorted(ini.devices)]
-            res = run_fio(ctx, front, devices,
-                          FioJob(rw=rw, block_size=4 * MIB, runtime=8.0))
-            rates[(tuning, rw)] = res.bandwidth
-    read_gain = rates[("numa", "read")] / rates[("default", "read")]
-    write_gain = rates[("numa", "write")] / rates[("default", "write")]
-    return write_gain >= read_gain >= 0.999
+    ctx = Context.create(seed=1, cal=cal)
+    front = frontend_lan_host(ctx, "f", with_ib=True)
+    back = backend_lan_host(ctx, "b")
+    wire_san(ctx, front, back)
+    target = IserTarget(ctx, back, tuning=tuning, n_links=2)
+    for _ in range(6):
+        target.create_lun(GB)
+    ini = IserInitiator(ctx, front, target)
+    ctx.sim.run(until=ini.login_all())
+    devices = [ini.devices[i] for i in sorted(ini.devices)]
+    res = run_fio(ctx, front, devices,
+                  FioJob(rw=rw, block_size=4 * MIB, runtime=8.0))
+    return res.bandwidth
 
 
-def _shape_fig9(cal: Calibration) -> bool:
-    """RFTP beats GridFTP by more than 2x end to end."""
+def _leg_fig9(cal: Calibration, protocol: str) -> float:
+    """One end-to-end transfer of the Fig. 9 testbed; returns the goodput."""
     from repro.core.system import EndToEndSystem
     from repro.core.tuning import TuningPolicy
     from repro.util.units import GB
 
-    s1 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=2,
-                                    cal=cal, lun_size=2 * GB)
-    rftp = s1.run_rftp_transfer(duration=10.0)
-    s2 = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=3,
-                                    cal=cal, lun_size=2 * GB)
-    grid = s2.run_gridftp_transfer(duration=10.0)
-    return rftp.goodput > 2.0 * grid.goodput
+    if protocol == "rftp":
+        system = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=2,
+                                            cal=cal, lun_size=2 * GB)
+        return system.run_rftp_transfer(duration=10.0).goodput
+    system = EndToEndSystem.lan_testbed(TuningPolicy.numa_bound(), seed=3,
+                                        cal=cal, lun_size=2 * GB)
+    return system.run_gridftp_transfer(duration=10.0).goodput
 
 
-def _shape_fig4(cal: Calibration) -> bool:
-    """TCP burns > 3x RDMA's CPU at matched throughput."""
-    from repro.apps.iperf import run_iperf
-    from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
+def _fig4_pair(ctx):
     from repro.hw.nic import Nic, NicKind
     from repro.hw.topology import Machine
     from repro.net.link import connect
+
+    a = Machine(ctx, "a", pcie_sockets=(0,))
+    b = Machine(ctx, "b", pcie_sockets=(0,))
+    na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
+    nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
+    connect(na, nb)
+    return a, b
+
+
+def _leg_fig4(cal: Calibration, transport: str) -> Tuple[float, float]:
+    """One Fig. 4 CPU-cost run; returns (cpu_seconds, bytes_moved)."""
+    from repro.apps.iperf import run_iperf
+    from repro.apps.rftp.transfer import RftpConfig, RftpTransfer
     from repro.sim.context import Context
 
-    def pair(ctx):
-        a = Machine(ctx, "a", pcie_sockets=(0,))
-        b = Machine(ctx, "b", pcie_sockets=(0,))
-        na = Nic(a, a.pcie_slots[0], NicKind.ROCE_QDR)
-        nb = Nic(b, b.pcie_slots[0], NicKind.ROCE_QDR)
-        connect(na, nb)
-        return a, b
-
-    ctx = Context.create(seed=4, cal=cal)
-    a, b = pair(ctx)
-    res = RftpTransfer(ctx, a, b, source="zero", sink="null",
-                       config=RftpConfig(streams_per_link=2)).run(8.0)
-    rdma_cpu = (res.sender_accounting.total_seconds
-                + res.receiver_accounting.total_seconds)
-    rdma_bytes = res.total_bytes
-
-    ctx2 = Context.create(seed=5, cal=cal)
-    a2, b2 = pair(ctx2)
-    ires = run_iperf(ctx2, a2, b2, duration=8.0, streams_per_link=4,
+    if transport == "rdma":
+        ctx = Context.create(seed=4, cal=cal)
+        a, b = _fig4_pair(ctx)
+        res = RftpTransfer(ctx, a, b, source="zero", sink="null",
+                           config=RftpConfig(streams_per_link=2)).run(8.0)
+        cpu = (res.sender_accounting.total_seconds
+               + res.receiver_accounting.total_seconds)
+        return cpu, res.total_bytes
+    ctx = Context.create(seed=5, cal=cal)
+    a, b = _fig4_pair(ctx)
+    ires = run_iperf(ctx, a, b, duration=8.0, streams_per_link=4,
                      bidirectional=False, numa_tuned=True)
-    tcp_cpu = ires.accounting.total_seconds
-    tcp_bytes = ires.total_bytes
-    return (tcp_cpu / tcp_bytes) > 3.0 * (rdma_cpu / rdma_bytes)
+    return ires.accounting.total_seconds, ires.total_bytes
 
 
-def _shape_motivating(cal: Calibration) -> bool:
-    """NUMA-tuned iperf beats the default scheduler."""
+def _leg_motivating(cal: Calibration, tuned: bool) -> float:
+    """One §2.3 bi-directional iperf run; returns the aggregate rate."""
     from repro.apps.iperf import run_iperf
     from repro.hw.presets import frontend_lan_host
     from repro.net.topology import wire_frontend_lan
     from repro.sim.context import Context
 
-    rates = {}
-    for tuned in (False, True):
-        ctx = Context.create(seed=6, cal=cal)
-        a = frontend_lan_host(ctx, "a")
-        b = frontend_lan_host(ctx, "b")
-        wire_frontend_lan(a, b)
-        rates[tuned] = run_iperf(ctx, a, b, duration=8.0,
-                                 numa_tuned=tuned).aggregate_rate
-    return rates[True] > rates[False]
+    ctx = Context.create(seed=6, cal=cal)
+    a = frontend_lan_host(ctx, "a")
+    b = frontend_lan_host(ctx, "b")
+    wire_frontend_lan(a, b)
+    return run_iperf(ctx, a, b, duration=8.0, numa_tuned=tuned).aggregate_rate
+
+
+#: leg name -> evaluator over a calibration (one simulation each).
+_LEGS: Dict[str, Callable[[Calibration], Any]] = {
+    "fio/default/read": lambda cal: _leg_fio(cal, "default", "read"),
+    "fio/default/write": lambda cal: _leg_fio(cal, "default", "write"),
+    "fio/numa/read": lambda cal: _leg_fio(cal, "numa", "read"),
+    "fio/numa/write": lambda cal: _leg_fio(cal, "numa", "write"),
+    "fig9/rftp": lambda cal: _leg_fig9(cal, "rftp"),
+    "fig9/gridftp": lambda cal: _leg_fig9(cal, "gridftp"),
+    "fig4/rdma": lambda cal: _leg_fig4(cal, "rdma"),
+    "fig4/tcp": lambda cal: _leg_fig4(cal, "tcp"),
+    "motivating/default": lambda cal: _leg_motivating(cal, False),
+    "motivating/tuned": lambda cal: _leg_motivating(cal, True),
+}
+
+
+# ---------------------------------------------------------------------------
+# Shapes: pure combiners over leg measurements.
+# ---------------------------------------------------------------------------
+
+def _combine_fig7(vals: Sequence[Any]) -> bool:
+    """Write tuning gain exceeds read tuning gain (both >= 1)."""
+    default_read, default_write, numa_read, numa_write = vals
+    read_gain = numa_read / default_read
+    write_gain = numa_write / default_write
+    return write_gain >= read_gain >= 0.999
+
+
+def _combine_fig9(vals: Sequence[Any]) -> bool:
+    """RFTP beats GridFTP by more than 2x end to end."""
+    rftp, grid = vals
+    return rftp > 2.0 * grid
+
+
+def _combine_fig4(vals: Sequence[Any]) -> bool:
+    """TCP burns > 3x RDMA's CPU at matched throughput."""
+    (rdma_cpu, rdma_bytes), (tcp_cpu, tcp_bytes) = vals
+    return (tcp_cpu / tcp_bytes) > 3.0 * (rdma_cpu / rdma_bytes)
+
+
+def _combine_motivating(vals: Sequence[Any]) -> bool:
+    """NUMA-tuned iperf beats the default scheduler."""
+    untuned, tuned = vals
+    return tuned > untuned
+
+
+#: shape name -> (leg names in combiner order, combiner).
+_SHAPE_DEFS: Dict[str, Tuple[Tuple[str, ...], Callable[[Sequence[Any]], bool]]] = {
+    "fig7: write gain >= read gain": (
+        ("fio/default/read", "fio/default/write",
+         "fio/numa/read", "fio/numa/write"), _combine_fig7),
+    "fig9: RFTP > 2x GridFTP": (("fig9/rftp", "fig9/gridftp"), _combine_fig9),
+    "fig4: TCP CPU/byte > 3x RDMA": (("fig4/rdma", "fig4/tcp"), _combine_fig4),
+    "motivating: tuning helps iperf": (
+        ("motivating/default", "motivating/tuned"), _combine_motivating),
+}
+
+
+def _make_predicate(legs: Tuple[str, ...],
+                    combine: Callable[[Sequence[Any]], bool]
+                    ) -> Callable[[Calibration], bool]:
+    def predicate(cal: Calibration) -> bool:
+        return combine([_LEGS[name](cal) for name in legs])
+    return predicate
 
 
 #: shape name -> predicate over a calibration.
 SHAPES: Dict[str, Callable[[Calibration], bool]] = {
-    "fig7: write gain >= read gain": _shape_fig7,
-    "fig9: RFTP > 2x GridFTP": _shape_fig9,
-    "fig4: TCP CPU/byte > 3x RDMA": _shape_fig4,
-    "motivating: tuning helps iperf": _shape_motivating,
+    name: _make_predicate(legs, combine)
+    for name, (legs, combine) in _SHAPE_DEFS.items()
 }
 
 
@@ -186,6 +255,14 @@ def _direction_labels(delta: float) -> Tuple[str, str]:
     return (f"-{pct}", f"+{pct}")
 
 
+def _perturbed(base: Calibration, constant: str, direction: str,
+               delta: float) -> Calibration:
+    """*base* with *constant* shifted ±*delta* (the grid-cell calibration)."""
+    value = getattr(base, constant)
+    factor = (1 - delta) if direction.startswith("-") else (1 + delta)
+    return base.replace(**{constant: value * factor})
+
+
 def sensitivity_cell(*, seed: int = 0, cal: Optional[Calibration] = None,
                      constant: str, direction: str,
                      delta: float = 0.20) -> Dict[str, bool]:
@@ -193,17 +270,67 @@ def sensitivity_cell(*, seed: int = 0, cal: Optional[Calibration] = None,
 
     This is the :class:`~repro.exec.task.SimTask` target for the
     sensitivity sweep: every cell is an independent simulation batch
-    (the shape predicates create their own seeded contexts), so the
-    grid fans out across worker processes.  ``cal`` is the *base*
-    calibration the perturbation applies to (None = library default);
-    ``seed`` is accepted for target-signature uniformity but unused —
-    the predicates pin their own seeds so cells stay comparable.
+    (the shape legs create their own seeded contexts), so the grid fans
+    out across worker processes.  ``cal`` is the *base* calibration the
+    perturbation applies to (None = library default); ``seed`` is
+    accepted for target-signature uniformity but unused — the legs pin
+    their own seeds so cells stay comparable.
     """
     base = cal if cal is not None else CALIBRATION
-    value = getattr(base, constant)
-    factor = (1 - delta) if direction.startswith("-") else (1 + delta)
-    perturbed = base.replace(**{constant: value * factor})
+    perturbed = _perturbed(base, constant, direction, delta)
     return {name: predicate(perturbed) for name, predicate in SHAPES.items()}
+
+
+def gang_cells(tasks: Sequence[SimTask]) -> List[Any]:
+    """Gang kernel for the sensitivity grid: all cells in one program.
+
+    Runs every shape leg across the whole scenario axis through
+    :func:`~repro.exec.gang.run_projected`: one evaluation per
+    *projection class* (cells whose perturbed calibrations agree on
+    every constant the leg reads share it — e.g. perturbing
+    ``tcp_kernel_rate`` cannot change a leg that never reads it, so
+    that leg's base-calibration run serves 13 of the 17 grid+base
+    scenarios).  Results are bit-identical to :func:`sensitivity_cell`
+    because the identical leg code runs with identical values.
+
+    Defection: an ambient fault plan defects every cell (fault arming
+    couples scenarios to event order — the per-task path owns that);
+    a cell whose leg evaluation raises defects alone so the error
+    surfaces with its ordinary traceback.
+    """
+    from repro.exec.gang import DEFECT, EvalError
+    from repro.faults.plan import ambient_spec
+
+    if ambient_spec():
+        return [DEFECT] * len(tasks)
+    cals = []
+    for task in tasks:
+        base = task.cal if task.cal is not None else CALIBRATION
+        cals.append(_perturbed(base, task.params["constant"],
+                               task.params["direction"],
+                               task.params["delta"]))
+    leg_values = {name: run_projected_leg(fn, cals)
+                  for name, fn in _LEGS.items()}
+    rows: List[Any] = []
+    for k in range(len(tasks)):
+        row: Dict[str, bool] = {}
+        failed = False
+        for shape, (legs, combine) in _SHAPE_DEFS.items():
+            vals = [leg_values[name][k] for name in legs]
+            if any(isinstance(v, EvalError) for v in vals):
+                failed = True
+                break
+            row[shape] = combine(vals)
+        rows.append(DEFECT if failed else row)
+    return rows
+
+
+def run_projected_leg(fn: Callable[[Calibration], Any],
+                      cals: Sequence[Calibration]) -> List[Any]:
+    """One leg across all scenarios (separated for monkeypatching in tests)."""
+    from repro.exec.gang import run_projected
+
+    return run_projected(fn, cals)
 
 
 def sensitivity_tasks(
@@ -211,12 +338,23 @@ def sensitivity_tasks(
     constants: Sequence[str] = PERTURBED_CONSTANTS,
     base: Calibration = CALIBRATION,
 ) -> List[SimTask]:
-    """The ±delta perturbation grid as independent tasks, in grid order."""
+    """The ±delta perturbation grid as independent tasks, in grid order.
+
+    Every cell carries the grid's :class:`~repro.exec.GangSpec`, so a
+    batch of cells gangs through :func:`gang_cells` under
+    ``REPRO_GANG=auto`` while staying an ordinary per-task grid under
+    ``off`` (and for whatever cells a partial cache leaves unserved).
+    """
     cal = None if base is CALIBRATION else base
+    spec = GangSpec(
+        kernel="repro.core.sensitivity:gang_cells",
+        key=f"sensitivity:{delta!r}:{_canonical(cal)!r}",
+    )
     return [
         SimTask("repro.core.sensitivity:sensitivity_cell",
                 {"constant": const, "direction": direction, "delta": delta},
-                seed=0, cal=cal, label=f"sensitivity/{const}{direction}")
+                seed=0, cal=cal, label=f"sensitivity/{const}{direction}",
+                gang=spec)
         for const in constants
         for direction in _direction_labels(delta)
     ]

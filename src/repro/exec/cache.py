@@ -8,6 +8,13 @@ therefore changes — and the old entry is simply never looked up again —
 whenever any calibration field, parameter, seed, or line of library
 source changes.
 
+Entries may also carry a ``via`` key recording how the result was
+produced (``"task"`` for the per-task path, ``"gang"`` for a scenario
+sliced out of a gang-kernel batch — see :mod:`repro.exec.gang`).  The
+provenance is informational only: gang and per-task results are
+bit-identical by contract, so lookups ignore it, and entries without
+the key (written before the field existed) load unchanged.
+
 Corrupt, truncated or mismatched entries are treated as misses: the
 offending file is deleted and the task recomputed.  Writes go through a
 temporary file and :func:`os.replace`, so concurrent writers (parallel
@@ -97,8 +104,12 @@ class ResultCache:
         self.stats.hits += 1
         return True, result
 
-    def put(self, task: SimTask, result: Any) -> None:
-        """Store *result*; I/O failures are swallowed (cache is best-effort)."""
+    def put(self, task: SimTask, result: Any, via: str = "task") -> None:
+        """Store *result*; I/O failures are swallowed (cache is best-effort).
+
+        *via* records execution provenance (``"task"`` or ``"gang"``) in
+        the entry; it is never part of the key and never checked on read.
+        """
         key = self.key_for(task)
         path = self._path(key)
         try:
@@ -106,7 +117,7 @@ class ResultCache:
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump({"key": key, "result": result}, fh,
+                    pickle.dump({"key": key, "result": result, "via": via}, fh,
                                 protocol=pickle.HIGHEST_PROTOCOL)
                 os.replace(tmp, path)
             except BaseException:

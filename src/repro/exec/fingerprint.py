@@ -7,6 +7,12 @@ cache key folds in a single fingerprint of every ``.py`` file under the
 comments travel with their file) invalidates the whole cache.  That is
 deliberately coarse: recomputing a few seconds of simulation is cheap,
 serving a stale result is not.
+
+The fingerprint is computed **once per process**: planning a
+few-hundred-task grid (or slicing a gang batch into per-scenario cache
+entries) must not re-walk the source tree per task.  Memoization is
+safe because a process whose source changed under it is already
+undefined behaviour for Python.
 """
 
 from __future__ import annotations
@@ -17,6 +23,9 @@ from functools import lru_cache
 from typing import Optional
 
 __all__ = ["code_fingerprint"]
+
+#: Process-wide memo of the default (no-argument) fingerprint.
+_DEFAULT: Optional[str] = None
 
 
 def _package_root() -> pathlib.Path:
@@ -39,8 +48,14 @@ def _fingerprint_of(root: pathlib.Path) -> str:
 def code_fingerprint(root: Optional[pathlib.Path] = None) -> str:
     """Hex digest over every ``.py`` file under *root* (default: ``repro``).
 
-    Memoized per path: the tree is hashed once per process, which is
-    safe because a process whose source changed under it is already
-    undefined behaviour for Python.
+    The default form is memoized at module level — the hot path (one
+    call per task during grid planning) does not even resolve the
+    package root again — and explicit roots are memoized per path via
+    ``lru_cache``.
     """
-    return _fingerprint_of(pathlib.Path(root) if root else _package_root())
+    global _DEFAULT
+    if root is None:
+        if _DEFAULT is None:
+            _DEFAULT = _fingerprint_of(_package_root())
+        return _DEFAULT
+    return _fingerprint_of(pathlib.Path(root))

@@ -9,7 +9,11 @@ scheduled.  Execution is:
 2. **dedup** — tasks with identical identity inside one call execute
    once and share the result (e.g. Fig. 9's GridFTP leg and Fig. 10's
    GridFTP leg are the same simulation);
-3. **fan-out** — remaining tasks run serially (``jobs=1``, the default:
+3. **gang grouping** — cache-missed tasks carrying the same
+   :class:`~repro.exec.gang.GangSpec` run as one batch through their
+   gang kernel (scenario-axis execution; ``REPRO_GANG=off`` disables);
+   scenarios the kernel defects fall through to step 4 unchanged;
+4. **fan-out** — remaining tasks run serially (``jobs=1``, the default:
    determinism-by-default, no pickling, no subprocesses) or on a
    ``ProcessPoolExecutor`` of ``jobs`` workers.
 
@@ -37,6 +41,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.exec.cache import CacheStats, ResultCache
+from repro.exec.gang import DEFECT, GANG_MODES, GangStats, gang_mode, resolve_kernel
 from repro.exec.task import SimTask
 
 __all__ = ["ExecContext", "executor", "get_exec_context", "run_tasks"]
@@ -52,6 +57,21 @@ class ExecContext:
     cache: Optional[ResultCache] = None
     #: Tasks actually executed (not served from cache) under this context.
     executed: int = 0
+    #: Gang-execution mode override ("auto"/"off"); None defers to the
+    #: ``REPRO_GANG`` environment variable (default: auto).
+    gang: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.gang is not None and self.gang not in GANG_MODES:
+            raise ValueError(
+                f"gang must be one of {GANG_MODES} or None, got {self.gang!r}"
+            )
+
+    @property
+    def gang_enabled(self) -> bool:
+        """Whether gang grouping applies under this context."""
+        mode = self.gang if self.gang is not None else gang_mode()
+        return mode != "off"
 
     @property
     def effective_jobs(self) -> int:
@@ -80,16 +100,18 @@ def get_exec_context() -> ExecContext:
 
 @contextmanager
 def executor(jobs: int = 1, cache: Optional[ResultCache] = None,
-             cache_dir: Optional[os.PathLike | str] = None) -> Iterator[ExecContext]:
+             cache_dir: Optional[os.PathLike | str] = None,
+             gang: Optional[str] = None) -> Iterator[ExecContext]:
     """Install an ambient :class:`ExecContext` for the duration of a block.
 
     Pass either a ready-made *cache* or a *cache_dir* to enable result
-    caching (neither = no cache).
+    caching (neither = no cache).  *gang* overrides ``REPRO_GANG``
+    ("auto"/"off"; None defers to the environment).
     """
     global _CURRENT
     if cache is None and cache_dir is not None:
         cache = ResultCache(cache_dir)
-    ctx = ExecContext(jobs=jobs, cache=cache)
+    ctx = ExecContext(jobs=jobs, cache=cache, gang=gang)
     previous = _CURRENT
     _CURRENT = ctx
     try:
@@ -142,16 +164,54 @@ def run_tasks(tasks: Sequence[SimTask],
         groups.setdefault(tasks[i].identity(), []).append(i)
     leaders = [indices[0] for indices in groups.values()]
 
-    workers = min(ctx.effective_jobs, len(leaders))
+    # Gang grouping: cache-missed leaders sharing a (kernel, key) spec
+    # run as one batched scenario program; defected scenarios (and
+    # groups of one, which have no batching to win) fall through to the
+    # ordinary per-task path below.  Kernels run in-process — their
+    # parallelism is the scenario axis, not worker processes.
+    computed: Dict[int, Any] = {}
+    ganged: set = set()
+    if ctx.gang_enabled:
+        gangs: Dict[tuple, List[int]] = {}
+        for i in leaders:
+            spec = tasks[i].gang
+            if spec is not None:
+                gangs.setdefault((spec.kernel, spec.key), []).append(i)
+        for (kernel, _key), idxs in gangs.items():
+            if len(idxs) < 2:
+                GangStats.note_solo(len(idxs))
+                continue
+            try:
+                values = resolve_kernel(kernel)([tasks[i] for i in idxs])
+                if len(values) != len(idxs):
+                    raise ValueError(
+                        f"gang kernel {kernel!r} returned {len(values)} "
+                        f"results for {len(idxs)} tasks")
+            except Exception:
+                # A broken kernel must never break the run: defect the
+                # whole group to the per-task path (whose results are
+                # correct by definition) and keep going.
+                values = [DEFECT] * len(idxs)
+            defected = 0
+            for i, value in zip(idxs, values):
+                if value is DEFECT:
+                    defected += 1
+                else:
+                    computed[i] = value
+                    ganged.add(i)
+            GangStats.note_group(ganged=len(idxs) - defected,
+                                 defected=defected)
+
+    remaining = [i for i in leaders if i not in ganged]
+    workers = min(ctx.effective_jobs, len(remaining))
     if multiprocessing.parent_process() is not None:
         workers = 1  # never nest process pools inside a worker
-    computed: Dict[int, Any] = {}
     if workers <= 1:
-        for i in leaders:
+        for i in remaining:
             computed[i] = tasks[i].execute()
     else:
         with _pool(workers) as pool:
-            futures = {i: pool.submit(_execute, tasks[i]) for i in leaders}
+            futures = {i: pool.submit(_execute, tasks[i]) for i in remaining}
             for i, future in futures.items():
                 computed[i] = future.result()
     ctx.executed += len(leaders)
@@ -161,5 +221,6 @@ def run_tasks(tasks: Sequence[SimTask],
         for i in indices:
             results[i] = value
         if cache is not None:
-            cache.put(tasks[indices[0]], value)
+            cache.put(tasks[indices[0]], value,
+                      via="gang" if indices[0] in ganged else "task")
     return results

@@ -28,11 +28,15 @@ from typing import TYPE_CHECKING, Any, Callable, Dict, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.calibration import Calibration
+    from repro.exec.gang import GangSpec
 
 __all__ = ["SimTask"]
 
 #: Bump when the on-disk cache entry layout changes (invalidates all keys).
-CACHE_FORMAT_VERSION = 5
+#: v6: entries carry ``via`` provenance (gang vs per-task execution) —
+#: older entries without the key still load, but the bump guarantees no
+#: pre-gang-era result is ever replayed into a gang-era report.
+CACHE_FORMAT_VERSION = 6
 
 
 def _canonical(obj: Any) -> Any:
@@ -65,6 +69,11 @@ class SimTask:
     cal: "Optional[Calibration]" = None
     #: Display label (progress/debugging only; excluded from the identity).
     label: str = ""
+    #: Gang-execution opt-in (see :mod:`repro.exec.gang`).  Excluded from
+    #: the identity: a ganged scenario and the same task run solo are
+    #: bit-identical by contract, so they share one cache entry — which
+    #: is what lets a partially cached grid gang only the misses.
+    gang: "Optional[GangSpec]" = None
 
     def __post_init__(self) -> None:
         module, sep, func = self.target.partition(":")

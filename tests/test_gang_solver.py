@@ -1,0 +1,220 @@
+"""GangFluidProgram vs the event-kernel FluidScheduler, per scenario.
+
+The batched solver's contract: for every scenario, rates, transferred
+bytes, completion times and charge totals must agree with an equivalent
+single-scenario :class:`FluidScheduler` run — the max-min fair
+allocation is unique, so agreement is exact up to float noise — and
+scenarios whose completion *order* diverges from the pilot must be
+reported as defected (their numbers are still exact; only event-coupled
+callers need the flag).
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.kernel.accounting import CpuAccounting
+from repro.sim import FluidFlow, FluidResource, FluidScheduler, Simulator
+from repro.sim.engine import SimulationError
+from repro.sim.fluid import GangFluidProgram
+
+REL = 1e-9
+
+
+def _scalar_run(caps, flows, duration):
+    """One scenario on the event kernel; observables for comparison."""
+    sim = Simulator()
+    sched = FluidScheduler(sim)
+    resources = [FluidResource(sched, c, f"r{i}") for i, c in enumerate(caps)]
+    ledger = CpuAccounting("gangtest")
+    objs = []
+    for i, (path, size, cap, charges) in enumerate(flows):
+        objs.append(FluidFlow(
+            [(resources[r], w) for r, w in path], size=size, cap=cap,
+            charges=[(ledger.account(key), pb) for key, pb in charges],
+            name=f"f{i}"))
+        sched.start(objs[-1])
+    sim.run(until=duration)
+    sched.settle()
+    completed = [f.size is not None and not f._active for f in objs]
+    finished = [f.finished_at if done else None
+                for f, done in zip(objs, completed)]
+    transferred = [f.transferred for f in objs]
+    for f in objs:
+        if f._active:
+            sched.stop(f)
+    return transferred, finished, ledger.total_seconds
+
+
+def _agree(a, b, rel=REL):
+    if a is None or b is None:
+        return a is b
+    return abs(a - b) <= rel * max(1.0, abs(a), abs(b))
+
+
+def _random_grid(rng, n_scen, n_res, n_flows):
+    base_caps = [rng.uniform(20.0, 200.0) for _ in range(n_res)]
+    scale = [0.5 + 0.3 * s for s in range(n_scen)]
+    flows = []
+    for _ in range(n_flows):
+        n_path = rng.randint(1, min(3, n_res))
+        path = [(r, rng.uniform(0.5, 2.0))
+                for r in rng.sample(range(n_res), n_path)]
+        size = rng.uniform(100.0, 3000.0) if rng.random() < 0.7 else None
+        cap = rng.uniform(5.0, 120.0) if rng.random() < 0.4 else None
+        charges = [("acct", rng.uniform(1e-4, 1e-3))]
+        flows.append((path, size, cap, charges))
+    return base_caps, scale, flows
+
+
+@pytest.mark.parametrize("trial", range(6))
+def test_gang_program_matches_event_kernel_per_scenario(trial):
+    rng = random.Random(500 + trial)
+    n_scen, n_res, n_flows = 6, rng.randint(2, 6), rng.randint(3, 10)
+    base_caps, scale, flows = _random_grid(rng, n_scen, n_res, n_flows)
+    duration = 30.0
+
+    program = GangFluidProgram(n_scen)
+    rids = [program.add_resource(np.asarray(c) * np.asarray(scale))
+            for c in base_caps]
+    for path, size, cap, charges in flows:
+        program.add_flow([(rids[r], w) for r, w in path], size=size,
+                         cap=cap, charges=charges)
+    result = program.run_steady(duration)
+
+    assert result.transferred.shape == (n_scen, n_flows)
+    assert result.rounds <= n_flows + 1
+    for s in range(n_scen):
+        transferred, finished, charge_total = _scalar_run(
+            [c * scale[s] for c in base_caps], flows, duration)
+        for j in range(n_flows):
+            assert _agree(result.transferred[s, j], transferred[j]), (
+                f"scenario {s} flow {j}: transferred "
+                f"{result.transferred[s, j]} != {transferred[j]}")
+            gang_fin = (result.finished_at[s, j]
+                        if np.isfinite(result.finished_at[s, j]) else None)
+            assert _agree(gang_fin, finished[j]), (
+                f"scenario {s} flow {j}: finished_at "
+                f"{gang_fin} != {finished[j]}")
+        assert _agree(float(program.charged["acct"][s]), charge_total)
+
+
+def test_pilot_order_divergence_is_reported():
+    # Two flows on private links: in scenario 0, flow A finishes first;
+    # in scenario 1 the capacities swap, so flow B finishes first.  Both
+    # scenarios' numbers stay exact — only the order flag differs.
+    program = GangFluidProgram(2)
+    ra = program.add_resource(np.array([10.0, 1.0]), name="ra")
+    rb = program.add_resource(np.array([1.0, 10.0]), name="rb")
+    program.add_flow([(ra, 1.0)], size=10.0, name="A")
+    program.add_flow([(rb, 1.0)], size=10.0, name="B")
+    result = program.run_steady(100.0)
+    assert not result.defected[0]  # the pilot defines the order
+    assert result.defected[1]
+    assert np.allclose(result.finished_at, [[1.0, 10.0], [10.0, 1.0]])
+    assert np.allclose(result.transferred, 10.0)
+
+
+def test_equal_scenarios_never_defect():
+    program = GangFluidProgram(3)
+    r = program.add_resource(5.0)
+    program.add_flow([(r, 1.0)], size=10.0)
+    program.add_flow([(r, 1.0)], size=20.0)
+    result = program.run_steady(100.0)
+    assert not result.defected.any()
+    assert np.allclose(result.transferred, [[10.0, 20.0]] * 3)
+
+
+def test_settle_clips_at_flow_size():
+    program = GangFluidProgram(2)
+    r = program.add_resource(np.array([4.0, 8.0]))
+    program.add_flow([(r, 1.0)], size=10.0, charges=[("cpu", 0.5)])
+    rates = program.solve()
+    assert np.allclose(rates[:, 0], [4.0, 8.0])
+    program.settle(rates, 10.0)  # 40/80 bytes offered, 10 accepted
+    assert np.allclose(program.transferred[:, 0], 10.0)
+    assert np.allclose(program.charged["cpu"], 5.0)
+
+
+def test_per_scenario_weights_caps_and_sizes():
+    program = GangFluidProgram(2)
+    r = program.add_resource(12.0)
+    # Scenario 0: equal weights (6/6); scenario 1: 2:1 split (8/4).
+    program.add_flow([(r, np.array([1.0, 1.0]))], cap=np.array([100.0, 8.0]))
+    program.add_flow([(r, np.array([1.0, 2.0]))])
+    rates = program.solve(active=np.ones((2, 2), dtype=bool))
+    assert np.allclose(rates[0], [6.0, 6.0])
+    # Scenario 1: flow 1 charges weight 2 per byte -> equal fill level
+    # freezes the link at level 4 (4*1 + 4*2 = 12).
+    assert np.allclose(rates[1], [4.0, 4.0])
+
+
+def test_construction_validation():
+    program = GangFluidProgram(2)
+    with pytest.raises(ValueError, match="at least one scenario"):
+        GangFluidProgram(0)
+    r = program.add_resource(5.0)
+    with pytest.raises(ValueError, match="unknown resource"):
+        program.add_flow([(7, 1.0)])
+    with pytest.raises(ValueError, match="weight"):
+        program.add_flow([(r, 0.0)])
+    with pytest.raises(ValueError, match="size"):
+        program.add_flow([(r, 1.0)], size=-1.0)
+    with pytest.raises(ValueError, match="cap"):
+        program.add_flow([(r, 1.0)], cap=0.0)
+    with pytest.raises(ValueError, match="capacity"):
+        program.add_resource(-1.0)
+    inf = program.add_resource(np.inf)
+    with pytest.raises(ValueError, match="unbounded"):
+        program.add_flow([(inf, 1.0)])
+
+
+def test_unbounded_flows_rejected_per_scenario():
+    program = GangFluidProgram(2)
+    inf = program.add_resource(np.inf)
+    program.add_flow([(inf, 1.0)], cap=np.array([5.0, 10.0]), size=100.0)
+    rates = program.solve()  # capped: fine
+    assert np.allclose(rates[:, 0], [5.0, 10.0])
+    # An infinite-capacity resource cannot bound its users, and neither
+    # can one that is only finite in *some* scenarios — every scenario
+    # must bound every flow, or construction fails up front.
+    with pytest.raises(ValueError, match="unbounded"):
+        program.add_flow([(inf, 1.0)])
+    mixed = program.add_resource(np.array([5.0, np.inf]))
+    with pytest.raises(ValueError, match="unbounded"):
+        program.add_flow([(mixed, 1.0)])
+
+
+def test_duplicate_path_entries_merge_weights():
+    program = GangFluidProgram(1)
+    r = program.add_resource(12.0)
+    program.add_flow([(r, 1.0), (r, 2.0)])  # merges to weight 3
+    rates = program.solve(active=np.ones((1, 1), dtype=bool))
+    assert np.allclose(rates, [[4.0]])
+
+
+def test_private_resource_folds_into_cap():
+    # A resource with one structural user never arbitrates: it bounds
+    # that flow like a cap (capacity/weight), exactly as the scalar
+    # solver folds private resources.
+    program = GangFluidProgram(2)
+    shared = program.add_resource(100.0)
+    private = program.add_resource(np.array([6.0, 60.0]))
+    program.add_flow([(shared, 1.0), (private, 2.0)])
+    program.add_flow([(shared, 1.0)], cap=50.0)
+    rates = program.solve(active=np.ones((2, 2), dtype=bool))
+    assert np.allclose(rates[0], [3.0, 50.0])   # private binds at 6/2
+    assert np.allclose(rates[1], [30.0, 50.0])  # private binds at 60/2
+
+
+def test_structural_edits_after_run_are_rejected():
+    program = GangFluidProgram(1)
+    r = program.add_resource(5.0)
+    program.add_flow([(r, 1.0)], size=10.0)
+    program.run_steady(1.0)
+    program.add_flow([(r, 1.0)], size=10.0)
+    with pytest.raises(SimulationError, match="after a gang run"):
+        program.solve()
