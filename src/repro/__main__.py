@@ -161,6 +161,13 @@ def cmd_report(args) -> int:
               f"defected={gang['scenarios_defected']}  "
               f"solo={gang['scenarios_solo']}  "
               f"groups={gang['groups']}")
+    shard = stats.get("shard")
+    if shard is not None:
+        print(f"[shard] runs={shard['runs']}  "
+              f"rounds={shard['rounds']}  "
+              f"cells_run={shard['cells_run']}  "
+              f"early_accepts={shard['early_accepts']}  "
+              f"unconverged={shard['unconverged']}")
     if args.stats_json:
         with open(args.stats_json, "w") as fh:
             json.dump(stats, fh, indent=2, sort_keys=True)
@@ -202,9 +209,10 @@ def _jobs_type(text: str) -> int:
 
 def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "-j", "--jobs", type=_jobs_type, default=1, metavar="N",
+        "-j", "--jobs", type=_jobs_type, default=None, metavar="N",
         help="fan independent simulation tasks across N worker processes "
-        "('auto' = one per CPU core; default: 1, fully serial)")
+        "('auto' = one per CPU core; default: the REPRO_JOBS environment "
+        "variable, else 1, fully serial)")
 
 
 def _add_faults_flag(parser: argparse.ArgumentParser) -> None:

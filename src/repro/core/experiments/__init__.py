@@ -29,7 +29,9 @@ ext_*               claims the paper could not test: E1 storage-to-
                     E3 file-size-mix penalty, E4 the 100 GbE upgrade
                     path, E5 goodput under faults (RFTP recovery vs
                     GridFTP stall), E6 transfer-service capacity
-                    curves (NUMA-aware broker vs blind baseline)
+                    curves (NUMA-aware broker vs blind baseline),
+                    E7 fleet-scale fabric sweeps (topology-sharded
+                    runtime, pooled-QP vs per-job cliffs)
 ==================  ==============================================
 """
 
@@ -61,6 +63,7 @@ from repro.core.experiments import (  # noqa: F401 (re-exported for discovery)
     exp_table1,
     ext_100g,
     ext_filesize_mix,
+    ext_fleet,
     ext_recovery,
     ext_sensitivity,
     ext_service,
@@ -74,6 +77,7 @@ ALL_EXTENSIONS = {
     "100g": ext_100g,
     "recovery": ext_recovery,
     "service": ext_service,
+    "fleet": ext_fleet,
 }
 
 ALL_ABLATIONS = {

@@ -22,7 +22,8 @@ invariants that make this safe.
 from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.fingerprint import code_fingerprint
 from repro.exec.gang import DEFECT, GangSpec, GangStats, gang_calgrid, gang_mode
-from repro.exec.runner import ExecContext, executor, get_exec_context, run_tasks
+from repro.exec.runner import (ExecContext, default_jobs, executor,
+                               get_exec_context, run_tasks)
 from repro.exec.task import SimTask
 
 __all__ = [
@@ -34,6 +35,7 @@ __all__ = [
     "ResultCache",
     "SimTask",
     "code_fingerprint",
+    "default_jobs",
     "executor",
     "gang_calgrid",
     "gang_mode",

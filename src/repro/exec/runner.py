@@ -15,7 +15,9 @@ scheduled.  Execution is:
    scenarios the kernel defects fall through to step 4 unchanged;
 4. **fan-out** — remaining tasks run serially (``jobs=1``, the default:
    determinism-by-default, no pickling, no subprocesses) or on a
-   ``ProcessPoolExecutor`` of ``jobs`` workers.
+   ``ProcessPoolExecutor`` of ``jobs`` workers.  ``REPRO_JOBS`` changes
+   the *default* worker count (``auto`` = one per core); an explicit
+   jobs argument — the CLI's ``--jobs`` above all — always wins.
 
 Parallelism is safe because tasks share nothing: each builds its own
 :class:`~repro.sim.context.Context` (own clock, own
@@ -44,7 +46,34 @@ from repro.exec.cache import CacheStats, ResultCache
 from repro.exec.gang import DEFECT, GANG_MODES, GangStats, gang_mode, resolve_kernel
 from repro.exec.task import SimTask
 
-__all__ = ["ExecContext", "executor", "get_exec_context", "run_tasks"]
+__all__ = ["ExecContext", "default_jobs", "executor", "get_exec_context",
+           "run_tasks"]
+
+
+def default_jobs() -> int:
+    """The worker-count default: ``REPRO_JOBS``, else 1 (fully serial).
+
+    ``REPRO_JOBS`` accepts a positive integer or ``auto`` (one worker
+    per CPU core).  An explicit jobs count — the CLI's ``--jobs``, a
+    benchmark's ``executor(jobs=N)`` — always wins over the
+    environment; the variable only fills the default.
+    """
+    text = os.environ.get("REPRO_JOBS", "").strip()
+    if not text:
+        return 1
+    if text.lower() == "auto":
+        return 0
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_JOBS must be a positive integer or 'auto', "
+            f"got {text!r}") from None
+    if jobs <= 0:
+        raise ValueError(
+            f"REPRO_JOBS must be >= 1 (or 'auto' for one worker per "
+            f"CPU core), got {jobs}")
+    return jobs
 
 
 @dataclass
@@ -52,8 +81,8 @@ class ExecContext:
     """How tasks execute right now: worker count + optional result cache."""
 
     #: Worker processes for task fan-out; 1 = serial in-process, 0 = one
-    #: per CPU core.
-    jobs: int = 1
+    #: per CPU core, None = the :func:`default_jobs` environment default.
+    jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     #: Tasks actually executed (not served from cache) under this context.
     executed: int = 0
@@ -75,9 +104,11 @@ class ExecContext:
 
     @property
     def effective_jobs(self) -> int:
-        """``jobs`` with 0 resolved to the usable-CPU count."""
-        if self.jobs > 0:
-            return self.jobs
+        """``jobs`` with None resolved from the environment and 0 to the
+        usable-CPU count."""
+        jobs = self.jobs if self.jobs is not None else default_jobs()
+        if jobs > 0:
+            return jobs
         try:
             return len(os.sched_getaffinity(0)) or 1
         except AttributeError:  # pragma: no cover - non-Linux
@@ -99,11 +130,12 @@ def get_exec_context() -> ExecContext:
 
 
 @contextmanager
-def executor(jobs: int = 1, cache: Optional[ResultCache] = None,
+def executor(jobs: Optional[int] = None, cache: Optional[ResultCache] = None,
              cache_dir: Optional[os.PathLike | str] = None,
              gang: Optional[str] = None) -> Iterator[ExecContext]:
     """Install an ambient :class:`ExecContext` for the duration of a block.
 
+    *jobs* = None defers to ``REPRO_JOBS`` (see :func:`default_jobs`).
     Pass either a ready-made *cache* or a *cache_dir* to enable result
     caching (neither = no cache).  *gang* overrides ``REPRO_GANG``
     ("auto"/"off"; None defers to the environment).

@@ -36,7 +36,11 @@ __all__ = ["SimTask"]
 #: v6: entries carry ``via`` provenance (gang vs per-task execution) —
 #: older entries without the key still load, but the bump guarantees no
 #: pre-gang-era result is ever replayed into a gang-era report.
-CACHE_FORMAT_VERSION = 6
+#: v7: the topology-sharded runtime — legs may fan out into shard tasks
+#: whose boundary-exchange grants are part of their params, and fabric
+#: ledgers grew queue/QP-census fields; no pre-shard-era entry may
+#: satisfy a shard-era lookup.
+CACHE_FORMAT_VERSION = 7
 
 
 def _canonical(obj: Any) -> Any:

@@ -296,8 +296,15 @@ class TransferBroker:
         for job in started:
             self._queue.remove(job)
 
-    def _start(self, job: _Job, rail: Rail, buffer_node: int) -> None:
-        cal = self.ctx.cal
+    def _job_path(self, job: _Job, rail: Rail, buffer_node: int):
+        """The job's fluid route: ``(path, cap, setup_delay, charges)``.
+
+        Subclasses override this to reroute classes of jobs (e.g. the
+        fleet broker sends WAN tenants out the pod uplink) or to tax
+        admission (QP-cache derates, CM setup delays).  The default is
+        the paper's host-to-sink rail route with the NUMA placement
+        penalty and no delay.
+        """
         nic, peer = rail.nic, rail.peer
         path = nic.dma_read_path(buffer_node)
         path.append((rail.link.direction(nic), 1.0))
@@ -306,10 +313,14 @@ class TransferBroker:
         if buffer_node != rail.node:
             # Remote DMA read: the stream derates even uncontended (the
             # placement penalty the paper's NUMA tuning removes).
-            cap *= cal.remote_access_derate
+            cap *= self.ctx.cal.remote_access_derate
             self.stats.count_remote_placement()
+        return path, cap, 0.0, ()
+
+    def _start(self, job: _Job, rail: Rail, buffer_node: int) -> None:
+        path, cap, delay, charges = self._job_path(job, rail, buffer_node)
         flow = FluidFlow(
-            path, size=job.remaining, cap=cap,
+            path, size=job.remaining, cap=cap, charges=charges,
             name=f"{self.name}-j{job.job_id}g{job.reschedules}",
         )
         job.state = JobState.RUNNING
@@ -322,12 +333,36 @@ class TransferBroker:
         self._running_by_tenant[job.tenant] = (
             self._running_by_tenant.get(job.tenant, 0) + 1)
         self._budget_used += self._nominal
+        if delay > 0.0:
+            # Setup tax (e.g. a CM handshake): the job holds its rail
+            # slot and credits but moves no bytes until the delay runs.
+            self.ctx.sim.timeout(delay).add_callback(
+                lambda _ev, job=job, flow=flow: self._launch(job, flow))
+        else:
+            self._launch(job, flow)
+
+    def _launch(self, job: _Job, flow: FluidFlow) -> None:
+        if job.state is not JobState.RUNNING or job.flow is not flow:
+            return  # cancelled or rescheduled during its setup delay
         done = self.ctx.fluid.start(flow)
         done.add_callback(lambda _ev, job=job, flow=flow:
                           self._on_done(job, flow))
 
+    def _halt(self, job: _Job) -> float:
+        """Stop the job's flow (if it ever started) and return its bytes."""
+        flow = job.flow
+        if flow is None:
+            return 0.0
+        if flow._active:
+            return self.ctx.fluid.stop(flow)
+        return flow.transferred  # still in setup delay: nothing moved
+
+    def _job_released(self, job: _Job) -> None:
+        """Hook: the job is giving back its rail slot (subclass taps)."""
+
     def _release(self, job: _Job) -> None:
         """Return the job's rail slot, quota and bandwidth credits."""
+        self._job_released(job)
         if job.rail is not None:
             job.rail.jobs.pop(job, None)
         self._running_by_tenant[job.tenant] -= 1
@@ -397,9 +432,8 @@ class TransferBroker:
             self._queue.remove(job)
             job.state = JobState.CANCELLED
         elif job.state is JobState.RUNNING:
-            flow = job.flow
             job.state = JobState.CANCELLED
-            job.banked += self.ctx.fluid.stop(flow)
+            job.banked += self._halt(job)
             self._release(job)
         else:
             return False
@@ -414,9 +448,8 @@ class TransferBroker:
         """Kill a dead rail's jobs and requeue their remaining bytes."""
         victims = sorted(rail.jobs, key=lambda j: j.job_id)
         for job in victims:
-            flow = job.flow
             job.state = JobState.QUEUED  # before stop: staleness guard
-            job.banked += self.ctx.fluid.stop(flow)
+            job.banked += self._halt(job)
             self._release(job)
             job.remaining = job.size - job.banked
             job.reschedules += 1
@@ -463,6 +496,11 @@ class TransferBroker:
     def queued(self) -> int:
         """Jobs currently waiting in the admission queue."""
         return len(self._queue)
+
+    @property
+    def latencies(self) -> List[float]:
+        """Completed-job sojourn times, completion order (a copy)."""
+        return list(self._latencies)
 
     def latency_percentiles(self, qs=(50.0, 95.0, 99.0)) -> Dict[str, float]:
         """Sojourn-time percentiles (seconds) over completed jobs."""

@@ -68,17 +68,20 @@ class Rail:
 class RailFleet:
     """``n_hosts`` front-end hosts, each with its rails cabled and live."""
 
-    def __init__(self, ctx: Context, n_hosts: int = 1):
+    def __init__(self, ctx: Context, n_hosts: int = 1, name_prefix: str = ""):
         check_positive("n_hosts", n_hosts)
         self.ctx = ctx
         self.n_hosts = n_hosts
+        self.name_prefix = name_prefix
         self.hosts: List[Machine] = []
         self.sinks: List[Machine] = []
         self.rails: List[Rail] = []
         self.rail_by_link: Dict[Link, Rail] = {}
         for h in range(n_hosts):
-            host = frontend_lan_host(ctx, f"svc{h}")
-            sink = frontend_lan_host(ctx, f"svc{h}-sink")
+            # A name prefix keeps multi-pod fabrics' machine and link
+            # names distinct (``pod3-svc0`` vs ``pod4-svc0``).
+            host = frontend_lan_host(ctx, f"{name_prefix}svc{h}")
+            sink = frontend_lan_host(ctx, f"{name_prefix}svc{h}-sink")
             self.hosts.append(host)
             self.sinks.append(sink)
             # Cable same-index slots; locality then comes from the NIC's
@@ -90,7 +93,8 @@ class RailFleet:
                 and s.device.kind.is_roce
             ]
             for i, (sn, dn) in enumerate(pairs):
-                connect(sn, dn, delay=LAN_DELAY, name=f"svc{h}-rail{i}")
+                connect(sn, dn, delay=LAN_DELAY,
+                        name=f"{name_prefix}svc{h}-rail{i}")
             for node, nics in sorted(rail_locality_map(host).items()):
                 for nic in nics:
                     rail = Rail(
