@@ -350,6 +350,7 @@ class RftpTransfer:
         rail.flows = []
         rail.caps = {}
         gen = f"r{rail.generation}" if rail.generation else ""
+        new_flows: List[FluidFlow] = []
         for s in range(cfg.streams_per_link):
             stream_index = rail.li * cfg.streams_per_link + s
             load = self._load_spec(rail.load_t, rail.nst, stream_index)
@@ -369,11 +370,14 @@ class RftpTransfer:
                 charges=spec.charges,
                 name=f"{self.name}-l{rail.li}s{s}{gen}",
             )
-            self.ctx.fluid.start(flow)
+            new_flows.append(flow)
             self.flows.append(flow)
             rail.flows.append(flow)
             if self._fault_mode:
                 rail.caps[flow] = (stage_cap, credit_cap)
+        # One settle covers the whole rail's streams (a per-flow loop
+        # when the scheduler is eager — byte-identical either way).
+        self.ctx.fluid.start_many(new_flows)
 
     # -- fault recovery ------------------------------------------------------------
     # The hooks below are only ever invoked by an active FaultInjector
@@ -414,6 +418,12 @@ class RftpTransfer:
         window = (self._recovery.window_loss_fraction
                   * self._credits * self.config.block_size)
         fluid = self.ctx.fluid
+        if fluid.coalescing:
+            # Bulk halt: one settle freezes every stream's byte count;
+            # the accounting loop below then only reads ``transferred``.
+            active = [f for f in rail.flows if f._active]
+            if active:
+                fluid.finish_many(active)
         for flow in rail.flows:
             delivered = fluid.stop(flow) if flow._active else flow.transferred
             lost = window if window < delivered else delivered
@@ -580,10 +590,16 @@ class RftpTransfer:
     def stop(self) -> float:
         """Stop the activity; returns/flushes what it accumulated."""
         self._stopped = True
+        fluid = self.ctx.fluid
+        if fluid.coalescing:
+            # Bulk halt: one settle for every still-active stream.
+            active = [f for f in self.flows if f._active]
+            if active:
+                fluid.finish_many(active)
         total = 0.0
         for f in self.flows:
             if f._active:
-                total += self.ctx.fluid.stop(f)
+                total += fluid.stop(f)
             else:
                 total += f.transferred
         return total

@@ -40,7 +40,11 @@ __all__ = ["SimTask"]
 #: whose boundary-exchange grants are part of their params, and fabric
 #: ledgers grew queue/QP-census fields; no pre-shard-era entry may
 #: satisfy a shard-era lookup.
-CACHE_FORMAT_VERSION = 7
+#: v8: the churn-coalescing fluid layer — the active ``REPRO_CHURN``
+#: mode joins the identity (coalesce and eager runs are numerically
+#: equivalent but not event-for-event identical, so they never share a
+#: cache entry), and pre-coalescing entries are retired wholesale.
+CACHE_FORMAT_VERSION = 8
 
 
 def _canonical(obj: Any) -> Any:
@@ -107,14 +111,15 @@ class SimTask:
         identity: each pair of backends is held to the same observables
         (and the ledger is byte-identical today), but a cache entry must
         never outlive the question of *which* kernel produced it —
-        switching ``REPRO_FLUID_SOLVER`` or ``REPRO_SAMPLER`` recomputes
+        switching ``REPRO_FLUID_SOLVER``, ``REPRO_SAMPLER`` or
+        ``REPRO_CHURN`` recomputes
         rather than replays.  So is the ambient ``REPRO_FAULTS`` plan
         (canonical JSON; "" when unset): cached legs must never mix
         fault configurations, and an unset plan keys identically to the
         pre-fault-subsystem behaviour it is byte-identical to.
         """
         from repro.faults.plan import ambient_spec
-        from repro.sim.fluid import default_solver
+        from repro.sim.fluid import default_churn, default_solver
         from repro.sim.sampling import default_sampler
 
         return json.dumps(
@@ -125,6 +130,7 @@ class SimTask:
                 "cal": _canonical(self.cal),
                 "solver": default_solver(),
                 "sampler": default_sampler(),
+                "churn": default_churn(),
                 "faults": ambient_spec(),
                 "v": CACHE_FORMAT_VERSION,
             },

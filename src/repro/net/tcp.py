@@ -309,7 +309,10 @@ class TcpConnection:
                 yield sim.timeout(tick)
                 if self.flow is None or not self.flow._active:
                     break
-                self.ctx.fluid.settle()
+                # flush(): the window controller needs *settled* rates,
+                # including any rebalance the coalescer deferred this
+                # instant (a plain settle under an eager scheduler).
+                self.ctx.fluid.flush()
                 rate = self.flow.rate
                 wants_more = rate < window_rate * 0.98
                 if not wants_more and self._binding_is_link():

@@ -42,12 +42,13 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
 from repro.faults.injector import faults_active
+from repro.faults.recovery import REQUEUE_EPSILON_BYTES as _EPSILON_BYTES
 from repro.service.fleet import Rail, RailFleet
 from repro.service.scheduler import POLICIES, pick_rail
 from repro.service.workload import WorkloadConfig, WorkloadGenerator
@@ -56,9 +57,6 @@ from repro.sim.fluid import FluidFlow
 from repro.util.validation import check_positive
 
 __all__ = ["BrokerConfig", "JobState", "ServiceStats", "TransferBroker"]
-
-#: Remaining-bytes floor below which a rescheduled job counts as done.
-_EPSILON_BYTES = 1.0
 
 
 class JobState(enum.Enum):
@@ -220,11 +218,15 @@ class TransferBroker:
         self._budget = config.budget_fraction * fleet.total_rate
         self._budget_used = 0.0
         self._latencies: List[float] = []
+        #: Memoized static routes keyed (rail.index, buffer_node); cleared
+        #: on fault-driven topology change (on_link_down / on_link_up).
+        self._path_cache: Dict[Any, Any] = {}
         self.generator: Optional[WorkloadGenerator] = None
         if workload is not None:
             self.generator = WorkloadGenerator(
                 ctx, workload, self.submit,
-                n_nodes=fleet.hosts[0].n_nodes)
+                n_nodes=fleet.hosts[0].n_nodes,
+                submit_many=self.submit_many)
         # Fault integration is opt-in by plan: with no active injector
         # the broker registers nothing and the hooks below never run.
         inj = faults_active(ctx)
@@ -245,6 +247,30 @@ class TransferBroker:
 
     def submit(self, tenant: str, size: float, touch_node: int = 0) -> Optional[int]:
         """Submit one job; returns its session id, or None when shed."""
+        return self._submit_one(tenant, size, touch_node, None)
+
+    def submit_many(
+        self, arrivals: Iterable[Tuple[str, float, int]],
+    ) -> List[Optional[int]]:
+        """Submit a same-timestamp burst; one id (or None) per arrival.
+
+        Admission, placement and shed decisions are made in arrival
+        order — exactly the decisions a loop of :meth:`submit` would
+        make — but when the fluid scheduler coalesces churn the whole
+        burst's flow starts are deferred and launched through one
+        :meth:`~repro.sim.fluid.FluidScheduler.start_many` settle.
+        """
+        batch: Optional[List[Tuple[_Job, FluidFlow]]] = (
+            [] if self.ctx.fluid.coalescing else None)
+        ids = [self._submit_one(tenant, size, touch_node, batch)
+               for tenant, size, touch_node in arrivals]
+        if batch:
+            self._launch_many(batch)
+        return ids
+
+    def _submit_one(self, tenant: str, size: float, touch_node: int,
+                    batch: Optional[List[Tuple["_Job", FluidFlow]]],
+                    ) -> Optional[int]:
         check_positive("size", size)
         job = _Job(
             job_id=self._next_id, tenant=tenant, size=float(size),
@@ -257,7 +283,7 @@ class TransferBroker:
         row["submitted"] += 1
         self._jobs[job.job_id] = job
         self._queue.append(job)
-        self._dispatch()
+        self._dispatch(batch)
         if job.state is JobState.QUEUED and len(self._queue) > self.config.max_queue:
             # Bounded queue: the newcomer is shed, not an older job.
             self._queue.remove(job)
@@ -270,31 +296,86 @@ class TransferBroker:
 
     # -- admission + dispatch ----------------------------------------------
     def _admissible(self, job: _Job) -> bool:
+        """Both admission clauses (inlined in ``_dispatch``'s hot scan)."""
         if self._running_by_tenant.get(job.tenant, 0) >= self.config.tenant_quota:
             return False
         return self._budget_used + self._nominal <= self._budget
 
-    def _dispatch(self) -> None:
+    def _dispatch(
+        self, batch: Optional[List[Tuple["_Job", FluidFlow]]] = None,
+    ) -> None:
         """Start every queued job that admission and placement allow.
 
         Scans in FIFO order; jobs blocked on quota or budget are skipped
-        rather than head-of-line blocking unrelated tenants.
+        rather than head-of-line blocking unrelated tenants.  Under a
+        coalescing fluid scheduler the pass defers every zero-delay
+        launch and starts them through one bulk ``start_many`` settle;
+        a caller-supplied *batch* (``submit_many``) widens that to the
+        whole arrival burst.  Control-plane decisions are identical
+        either way: placement reads rail loads, which ``_start``
+        updates immediately.
         """
         if not self._queue:
             return
+        local = batch is None and self.ctx.fluid.coalescing
+        if local:
+            batch = []
         started: List[_Job] = []
+        # Both admission clauses only tighten while the scan runs (starts
+        # consume quota and budget; nothing frees them mid-scan), so a
+        # tenant that fails quota stays failed for the rest of the scan
+        # and a budget failure ends it.  Skipping on those facts is a
+        # pure shortcut: the skipped iterations had no side effects.
+        quota = self.config.tenant_quota
+        running = self._running_by_tenant
+        over_quota: set = set()
         for job in self._queue:
-            if not self._admissible(job):
+            if self._budget_used + self._nominal > self._budget:
+                break  # budget exhausted: nothing else is admissible
+            tenant = job.tenant
+            if tenant in over_quota:
+                continue
+            if running.get(tenant, 0) >= quota:
+                over_quota.add(tenant)
                 continue
             rail, buffer_node, self._cursor = pick_rail(
                 self.fleet.rails, self.config.policy, job.touch_node,
                 self._cursor)
             if rail is None:
                 break  # no live rails: leave the queue intact
-            self._start(job, rail, buffer_node)
+            self._start(job, rail, buffer_node, batch)
             started.append(job)
         for job in started:
             self._queue.remove(job)
+        if local and batch:
+            self._launch_many(batch)
+
+    def _base_route(self, rail: Rail, buffer_node: int):
+        """Memoized static rail route: ``(path, cap, remote)``.
+
+        The route, its capacity, and whether the placement is remote
+        depend only on (rail, buffer node) — never on the job — so they
+        are computed once and cached until a fault changes the topology
+        (see :meth:`on_link_down` / :meth:`on_link_up`).  Per-job taxes
+        (stats, QP acquisition, boundary legs) stay in ``_job_path``.
+        """
+        key = (rail.index, buffer_node)
+        hit = self._path_cache.get(key)
+        if hit is not None:
+            return hit
+        nic, peer = rail.nic, rail.peer
+        path = nic.dma_read_path(buffer_node)
+        path.append((rail.link.direction(nic), 1.0))
+        path += peer.dma_write_path(peer.node)
+        cap = rail.rate
+        remote = buffer_node != rail.node
+        if remote:
+            # Remote DMA read: the stream derates even uncontended (the
+            # placement penalty the paper's NUMA tuning removes).
+            cap *= self.ctx.cal.remote_access_derate
+        hit = (tuple(path), cap, remote)
+        self._path_cache[key] = hit
+        return hit
 
     def _job_path(self, job: _Job, rail: Rail, buffer_node: int):
         """The job's fluid route: ``(path, cap, setup_delay, charges)``.
@@ -305,19 +386,13 @@ class TransferBroker:
         the paper's host-to-sink rail route with the NUMA placement
         penalty and no delay.
         """
-        nic, peer = rail.nic, rail.peer
-        path = nic.dma_read_path(buffer_node)
-        path.append((rail.link.direction(nic), 1.0))
-        path += peer.dma_write_path(peer.node)
-        cap = rail.rate
-        if buffer_node != rail.node:
-            # Remote DMA read: the stream derates even uncontended (the
-            # placement penalty the paper's NUMA tuning removes).
-            cap *= self.ctx.cal.remote_access_derate
+        path, cap, remote = self._base_route(rail, buffer_node)
+        if remote:
             self.stats.count_remote_placement()
         return path, cap, 0.0, ()
 
-    def _start(self, job: _Job, rail: Rail, buffer_node: int) -> None:
+    def _start(self, job: _Job, rail: Rail, buffer_node: int,
+               batch: Optional[List[Tuple["_Job", FluidFlow]]] = None) -> None:
         path, cap, delay, charges = self._job_path(job, rail, buffer_node)
         flow = FluidFlow(
             path, size=job.remaining, cap=cap, charges=charges,
@@ -338,6 +413,8 @@ class TransferBroker:
             # slot and credits but moves no bytes until the delay runs.
             self.ctx.sim.timeout(delay).add_callback(
                 lambda _ev, job=job, flow=flow: self._launch(job, flow))
+        elif batch is not None:
+            batch.append((job, flow))
         else:
             self._launch(job, flow)
 
@@ -347,6 +424,17 @@ class TransferBroker:
         done = self.ctx.fluid.start(flow)
         done.add_callback(lambda _ev, job=job, flow=flow:
                           self._on_done(job, flow))
+
+    def _launch_many(
+        self, batch: List[Tuple["_Job", FluidFlow]],
+    ) -> None:
+        """Start a dispatch pass's deferred flows in one bulk settle."""
+        live = [(job, flow) for job, flow in batch
+                if job.state is JobState.RUNNING and job.flow is flow]
+        events = self.ctx.fluid.start_many([flow for _job, flow in live])
+        for (job, flow), done in zip(live, events):
+            done.add_callback(lambda _ev, job=job, flow=flow:
+                              self._on_done(job, flow))
 
     def _halt(self, job: _Job) -> float:
         """Stop the job's flow (if it ever started) and return its bytes."""
@@ -449,6 +537,15 @@ class TransferBroker:
         victims = sorted(rail.jobs, key=lambda j: j.job_id)
         for job in victims:
             job.state = JobState.QUEUED  # before stop: staleness guard
+        if self.ctx.fluid.coalescing:
+            # Bulk halt: one settle covers every victim; the accounting
+            # loop below then reads the already-frozen ``transferred``
+            # values (``_halt`` on a deactivated flow is a pure read).
+            active = [job.flow for job in victims
+                      if job.flow is not None and job.flow._active]
+            if active:
+                self.ctx.fluid.finish_many(active)
+        for job in victims:
             job.banked += self._halt(job)
             self._release(job)
             job.remaining = job.size - job.banked
@@ -475,6 +572,7 @@ class TransferBroker:
         if rail is None or not rail.alive:
             return
         rail.alive = False
+        self._path_cache.clear()  # topology changed: drop memoized routes
         self._reschedule_rail(rail)
         self._dispatch()
 
@@ -484,6 +582,7 @@ class TransferBroker:
         if rail is None or rail.alive:
             return
         rail.alive = True
+        self._path_cache.clear()  # topology changed: drop memoized routes
         self._dispatch()
 
     # -- telemetry ---------------------------------------------------------

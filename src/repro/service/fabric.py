@@ -64,7 +64,10 @@ class FabricSpec:
     #: Job arrivals per host per second; 0 disables the workload.
     rate_per_host: float = 0.0
     size_mean_mib: float = 64.0
+    size_dist: str = "lognormal"
     lognormal_sigma: float = 1.0
+    #: Jobs per arrival event (same-timestamp bursts when > 1).
+    burst: int = 1
     n_tenants: int = 8
     #: Tenants whose jobs cross the WAN (the first this-many indices).
     wan_tenants: int = 2
@@ -130,16 +133,35 @@ class FleetBroker(TransferBroker):
         except ValueError:
             return False
 
+    def _wan_route(self, rail: Rail, buffer_node: int):
+        """Memoized static WAN egress route: ``(path, cap, remote)``.
+
+        Shares the broker's ``_path_cache`` (and its fault-driven
+        invalidation); the per-job QP tax and boundary-port leg stay
+        live in ``_job_path`` — only the host-to-uplink spine and its
+        placement-derated cap are static per (rail, buffer node).
+        """
+        key = ("wan", rail.index, buffer_node)
+        hit = self._path_cache.get(key)
+        if hit is not None:
+            return hit
+        nic = rail.nic
+        path = nic.dma_read_path(buffer_node)
+        path.append((rail.link.direction(nic), 1.0))
+        path.append((self.uplink, 1.0))
+        cap = rail.rate
+        remote = buffer_node != rail.node
+        if remote:
+            cap *= self.ctx.cal.remote_access_derate
+        hit = (tuple(path), cap, remote)
+        self._path_cache[key] = hit
+        return hit
+
     def _job_path(self, job, rail: Rail, buffer_node: int):
         wan = self._is_wan(job.tenant)
         if wan:
-            nic = rail.nic
-            path = nic.dma_read_path(buffer_node)
-            path.append((rail.link.direction(nic), 1.0))
-            path.append((self.uplink, 1.0))
-            cap = rail.rate
-            if buffer_node != rail.node:
-                cap *= self.ctx.cal.remote_access_derate
+            path, cap, remote = self._wan_route(rail, buffer_node)
+            if remote:
                 self.stats.count_remote_placement()
             delay, charges = 0.0, ()
         else:
@@ -154,7 +176,7 @@ class FleetBroker(TransferBroker):
             # final cap (its hungry-vs-pinned classification input).
             self.wan_jobs += 1
             leg, port_charges = self.port.flow_leg(cap=cap)
-            path += leg
+            path = tuple(path) + tuple(leg)
             charges = tuple(charges) + tuple(port_charges)
         return path, cap, delay, charges
 
@@ -183,7 +205,9 @@ def fleet_cell(*, ctx: Context, cell: int, ports: Dict[str, BoundaryPort],
         workload = WorkloadConfig(
             rate=s.rate_per_host * s.hosts_per_pod,
             size_mean=s.size_mean_mib * MIB,
+            size_dist=s.size_dist,
             lognormal_sigma=s.lognormal_sigma,
+            burst=s.burst,
             n_tenants=s.n_tenants)
     broker = FleetBroker(
         ctx, fleet,

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Optional
 
 from repro.sim.context import Context
 from repro.util.units import MIB
@@ -46,8 +46,9 @@ __all__ = ["ARRIVALS", "SIZE_DISTS", "WorkloadConfig", "WorkloadGenerator"]
 #: Supported arrival processes.
 ARRIVALS = ("poisson", "diurnal")
 
-#: Supported file-size distributions.
-SIZE_DISTS = ("lognormal", "pareto")
+#: Supported file-size distributions (``fixed`` = every job is exactly
+#: ``size_mean`` bytes, drawing nothing from the sizes stream).
+SIZE_DISTS = ("lognormal", "pareto", "fixed")
 
 
 @dataclass(frozen=True)
@@ -68,11 +69,17 @@ class WorkloadConfig:
     #: Pareto shape; must be > 1 for the mean to exist.
     pareto_alpha: float = 1.8
     n_tenants: int = 8
+    #: Jobs per arrival event.  1 reproduces the classic one-job-per-tick
+    #: process exactly; > 1 submits a same-timestamp burst through the
+    #: broker's ``submit_many`` (churn-heavy serving: group uploads,
+    #: checkpoint fan-ins), exercising the coalesced settle path.
+    burst: int = 1
 
     def __post_init__(self) -> None:
         check_positive("rate", self.rate)
         check_positive("size_mean", self.size_mean)
         check_positive("n_tenants", self.n_tenants)
+        check_positive("burst", self.burst)
         if self.arrival not in ARRIVALS:
             raise ValueError(
                 f"arrival must be one of {ARRIVALS}, got {self.arrival!r}")
@@ -101,11 +108,15 @@ class WorkloadGenerator:
 
     def __init__(self, ctx: Context, config: WorkloadConfig,
                  submit: Callable[[str, float, int], object],
-                 n_nodes: int = 2):
+                 n_nodes: int = 2,
+                 submit_many: Optional[Callable[[list], object]] = None):
         check_positive("n_nodes", n_nodes)
         self.ctx = ctx
         self.config = config
         self.submit = submit
+        #: Optional bulk ingress for ``burst > 1`` arrivals; when absent
+        #: a burst degrades to per-job ``submit`` calls (same draws).
+        self.submit_many = submit_many
         self.n_nodes = n_nodes
         self.submitted = 0
         self._stopped = False
@@ -113,6 +124,8 @@ class WorkloadGenerator:
     # -- draws -------------------------------------------------------------
     def _draw_size(self) -> float:
         cfg = self.config
+        if cfg.size_dist == "fixed":
+            return float(cfg.size_mean)  # no draw: the stream is untouched
         rng = self.ctx.rng.stream("service.sizes")
         if cfg.size_dist == "lognormal":
             sigma = cfg.lognormal_sigma
@@ -161,6 +174,20 @@ class WorkloadGenerator:
                 # survive with probability intensity(t)/peak.
                 if arrivals.random() >= self._intensity(sim.now) / cfg.rate:
                     continue
-            self.submitted += 1
-            self.submit(self._draw_tenant(), self._draw_size(),
-                        self._draw_touch_node())
+            if cfg.burst == 1:
+                # The classic per-tick process, draw-for-draw identical
+                # to every pre-burst seed.
+                self.submitted += 1
+                self.submit(self._draw_tenant(), self._draw_size(),
+                            self._draw_touch_node())
+                continue
+            # Burst: one arrival event carries cfg.burst jobs, each with
+            # its own draws in the per-job order (tenant, size, touch).
+            jobs = [(self._draw_tenant(), self._draw_size(),
+                     self._draw_touch_node()) for _ in range(cfg.burst)]
+            self.submitted += len(jobs)
+            if self.submit_many is not None:
+                self.submit_many(jobs)
+            else:
+                for tenant, size, touch_node in jobs:
+                    self.submit(tenant, size, touch_node)

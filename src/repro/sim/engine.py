@@ -380,6 +380,33 @@ class Simulator:
         #: The engine only flushes it at run() boundaries; everything else
         #: lives on the sampling side to keep the kernel dependency-free.
         self.sampler_hub = None
+        #: Advance hooks: callbacks invoked whenever the clock is about
+        #: to move past the current instant (and at run() boundaries).
+        #: The fluid scheduler's churn coalescer registers here so that
+        #: same-timestamp flow transitions share one deferred rebalance
+        #: flushed before any later event observes the new rates.
+        self._advance_hooks: list[Callable[[], None]] = []
+
+    def add_advance_hook(self, hook: Callable[[], None]) -> None:
+        """Run *hook()* before the clock advances past the current instant.
+
+        Hooks also run when the schedule drains or a ``run()`` horizon is
+        reached, so deferred work (e.g. a coalesced rebalance that must
+        schedule the next flow completion) cannot be lost at the end of a
+        timestamp.  Hooks must be idempotent and may schedule new events
+        (including at the current instant); they must never unschedule.
+        """
+        self._advance_hooks.append(hook)
+
+    def _flush_advance_hooks(self) -> bool:
+        """Run all advance hooks; True if they scheduled new events."""
+        hooks = self._advance_hooks
+        if not hooks:
+            return False
+        before = self.stats.events_scheduled
+        for hook in hooks:
+            hook()
+        return self.stats.events_scheduled != before
 
     # -- clock --------------------------------------------------------------
     @property
@@ -468,9 +495,16 @@ class Simulator:
     # -- running ---------------------------------------------------------------
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
+        heap = self._heap
+        if not heap:
             raise SimulationError("step() on an empty schedule")
-        event = heappop(self._heap)
+        if self._advance_hooks and heap[0]._time > self._now:
+            # The current instant is over: flush deferred work before any
+            # later event runs (hooks may schedule earlier events, e.g. a
+            # coalesced rebalance's completion timer — heappop finds them).
+            for hook in self._advance_hooks:
+                hook()
+        event = heappop(heap)
         t = event._time
         if t < self._now - 1e-12:
             raise SimulationError(f"time went backwards: {t} < {self._now}")
@@ -508,14 +542,20 @@ class Simulator:
         t0 = time.perf_counter()
         try:
             if until is None:
-                while self._heap:
-                    self.step()
-                return None
+                while True:
+                    while self._heap:
+                        self.step()
+                    # A deferred flush may schedule the next completion;
+                    # keep going until the hooks add nothing new.
+                    if not self._flush_advance_hooks():
+                        return None
 
             if isinstance(until, Event):
                 target = until
                 while not target.processed:
                     if not self._heap:
+                        if self._flush_advance_hooks():
+                            continue
                         raise SimulationError(
                             f"simulation starved before {target!r} fired"
                         )
@@ -528,8 +568,16 @@ class Simulator:
             if horizon < self._now:
                 raise SimulationError(f"cannot run until {horizon} < now={self._now}")
             heap = self._heap
-            while heap and heap[0]._time <= horizon:
-                self.step()
+            while True:
+                while heap and heap[0]._time <= horizon:
+                    self.step()
+                # Flush deferred work before the clock jumps to the
+                # horizon: a coalesced rebalance may schedule completions
+                # inside the horizon, in which case the loop resumes.
+                if not self._flush_advance_hooks():
+                    break
+                if not (heap and heap[0]._time <= horizon):
+                    break
             self._now = horizon
             return None
         finally:

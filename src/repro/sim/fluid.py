@@ -72,13 +72,18 @@ __all__ = [
     "GangFluidProgram",
     "GangRunResult",
     "SOLVERS",
+    "CHURN_MODES",
     "default_solver",
+    "default_churn",
 ]
 
 _EPS = 1e-9
 
 #: Recognized allocator backends.
 SOLVERS = ("array", "python")
+
+#: Recognized churn-handling modes (see :func:`default_churn`).
+CHURN_MODES = ("coalesce", "eager")
 
 #: Components smaller than this run the scalar filling loop even under the
 #: array solver: per-call numpy dispatch overhead (~µs) beats dict walks
@@ -98,6 +103,28 @@ def default_solver() -> str:
     if kind not in SOLVERS:
         raise ValueError(
             f"REPRO_FLUID_SOLVER must be one of {SOLVERS}, got {kind!r}"
+        )
+    return kind
+
+
+def default_churn() -> str:
+    """The churn mode named by ``REPRO_CHURN`` (default: ``coalesce``).
+
+    ``coalesce``
+        Flow transitions (start/finish/cap/capacity changes) occurring at
+        the same simulated instant mark components dirty and share one
+        deferred rebalance, flushed by the engine before the clock
+        advances (or by any reader that needs settled rates).
+    ``eager``
+        Every transition rebalances immediately — the pre-coalescing
+        behaviour, kept bit-reproducible for differential testing.
+    """
+    kind = os.environ.get("REPRO_CHURN", "").strip().lower()
+    if not kind:
+        return "coalesce"
+    if kind not in CHURN_MODES:
+        raise ValueError(
+            f"REPRO_CHURN must be one of {CHURN_MODES}, got {kind!r}"
         )
     return kind
 
@@ -205,16 +232,21 @@ class FluidResource:
         scheduler.settle()
         self._capacity = float(capacity)
         scheduler._dirty[self] = None
-        scheduler._rebalance()
+        scheduler._after_change()
 
     @property
     def load(self) -> float:
         """Current weighted demand through this resource (bytes/s).
 
         Served from the scheduler's per-resource cache, refreshed on every
-        rebalance — O(1) instead of a scan over all active flows.
+        rebalance — O(1) instead of a scan over all active flows.  A
+        deferred (coalesced) rebalance is flushed first so mid-timestamp
+        readers always observe settled loads.
         """
-        return self.scheduler._load.get(self, 0.0)
+        scheduler = self.scheduler
+        if scheduler._pending:
+            scheduler.flush()
+        return scheduler._load.get(self, 0.0)
 
     @property
     def utilization(self) -> float:
@@ -250,7 +282,7 @@ class FluidFlow:
         "cap",
         "charges",
         "_weights",
-        "rate",
+        "_rate",
         "_transferred",
         "done",
         "_active",
@@ -296,7 +328,7 @@ class FluidFlow:
         self.cap = None if cap is None else float(cap)
         self.charges = tuple(charges)
         self._weights = weights
-        self.rate = 0.0
+        self._rate = 0.0
         self._transferred = 0.0
         self.done: Optional[Event] = None
         self._active = False
@@ -309,6 +341,24 @@ class FluidFlow:
         self._c_start = 0
         self._c_n = 0
         self._visit = 0
+
+    @property
+    def rate(self) -> float:
+        """Current allocated rate (bytes/s).
+
+        If the owning scheduler has a deferred (coalesced) rebalance
+        pending, it is flushed first, so readers always see the settled
+        allocation — exactly what an eager rebalance would have produced.
+        Internal hot loops that run strictly post-flush read ``_rate``.
+        """
+        sched = self._sched
+        if sched is not None and sched._pending:
+            sched.flush()
+        return self._rate
+
+    @rate.setter
+    def rate(self, value: float) -> None:
+        self._rate = value
 
     @property
     def transferred(self) -> float:
@@ -338,7 +388,7 @@ class FluidFlow:
 
     def __repr__(self) -> str:
         return (
-            f"<FluidFlow {self.name!r} rate={self.rate:.3g} "
+            f"<FluidFlow {self.name!r} rate={self._rate:.3g} "
             f"transferred={self.transferred:.3g}/{self.size}>"
         )
 
@@ -349,16 +399,34 @@ class FluidScheduler:
     ``solver`` picks the allocator backend (``"array"`` or ``"python"``);
     ``None`` defers to :func:`default_solver` (the ``REPRO_FLUID_SOLVER``
     environment variable, defaulting to the array backend).
+
+    ``churn`` picks how flow transitions are settled (``"coalesce"`` or
+    ``"eager"``); ``None`` defers to :func:`default_churn` (the
+    ``REPRO_CHURN`` environment variable, defaulting to coalescing).
+    Under coalescing, every transition still settles progress and marks
+    its components dirty immediately, but the rebalance itself is
+    deferred to one flush per simulated instant (an engine advance hook;
+    see :meth:`flush`) — same rates, same completion deadlines, a single
+    allocation for an arbitrarily large same-timestamp burst.
     """
 
-    def __init__(self, sim: Simulator, solver: Optional[str] = None):
+    def __init__(self, sim: Simulator, solver: Optional[str] = None,
+                 churn: Optional[str] = None):
         if solver is None:
             solver = default_solver()
         if solver not in SOLVERS:
             raise ValueError(f"solver must be one of {SOLVERS}, got {solver!r}")
+        if churn is None:
+            churn = default_churn()
+        if churn not in CHURN_MODES:
+            raise ValueError(f"churn must be one of {CHURN_MODES}, got {churn!r}")
         self.sim = sim
         self.solver = solver
+        self.churn = churn
         self._array = solver == "array"
+        self._eager = churn == "eager"
+        self._pending = False
+        self._hooked = False
         self._resources: list[FluidResource] = []
         self._active: list[FluidFlow] = []
         self._last_settle = sim.now
@@ -418,16 +486,16 @@ class FluidScheduler:
             self._div = np.empty(16)
 
     # -- public API ------------------------------------------------------------
-    def start(self, flow: FluidFlow) -> Event:
-        """Activate *flow*; returns its completion event.
+    @property
+    def coalescing(self) -> bool:
+        """True when same-timestamp transitions share a deferred rebalance."""
+        return not self._eager
 
-        Open-ended flows (``size=None``) complete only via :meth:`stop`.
-        """
-        if flow._active or flow.done is not None:
-            raise SimulationError(f"flow {flow.name!r} already started")
-        self.settle()
+    def _admit(self, flow: FluidFlow) -> Event:
+        """Activate *flow* (post-settle bookkeeping shared by start paths)."""
         flow.done = Event(self.sim, name=f"flow:{flow.name}")
         flow._active = True
+        flow._sched = self
         flow.started_at = self.sim.now
         self._active.append(flow)
         for r in flow._weights:
@@ -436,8 +504,64 @@ class FluidScheduler:
         self._dirty_flows[flow] = None
         if self._array:
             self._bind_slot(flow)
-        self._rebalance()
         return flow.done
+
+    def _after_change(self) -> None:
+        """Rebalance now (eager) or defer to one flush per instant."""
+        if self._eager:
+            self._rebalance()
+            return
+        self._pending = True
+        if not self._hooked:
+            self._hooked = True
+            self.sim.add_advance_hook(self._flush_pending)
+
+    def _flush_pending(self) -> None:
+        # Engine advance hook: apply the coalesced rebalance before the
+        # clock moves past the instant the transitions happened at.
+        if self._pending:
+            self._pending = False
+            self._rebalance()
+
+    def flush(self) -> None:
+        """Settle progress and apply any deferred (coalesced) rebalance.
+
+        Mid-timestamp readers of rates or loads call this so they observe
+        exactly what an eager rebalance would have produced; under eager
+        churn it is equivalent to :meth:`settle`.
+        """
+        self.settle()
+        if self._pending:
+            self._pending = False
+            self._rebalance()
+
+    def start(self, flow: FluidFlow) -> Event:
+        """Activate *flow*; returns its completion event.
+
+        Open-ended flows (``size=None``) complete only via :meth:`stop`.
+        """
+        if flow._active or flow.done is not None:
+            raise SimulationError(f"flow {flow.name!r} already started")
+        self.settle()
+        done = self._admit(flow)
+        self._after_change()
+        return done
+
+    def start_many(self, flows: Sequence[FluidFlow]) -> List[Event]:
+        """Activate many flows; returns their completion events in order.
+
+        Equivalent to ``[start(f) for f in flows]`` — under coalescing
+        the whole batch shares one settle and one deferred rebalance, so
+        admitting N flows at one instant costs a single allocation.
+        """
+        self.settle()
+        events: List[Event] = []
+        for flow in flows:
+            if flow._active or flow.done is not None:
+                raise SimulationError(f"flow {flow.name!r} already started")
+            events.append(self._admit(flow))
+            self._after_change()
+        return events
 
     def stop(self, flow: FluidFlow) -> float:
         """Deactivate an open-ended (or unfinished) flow.
@@ -449,8 +573,25 @@ class FluidScheduler:
             raise SimulationError(f"flow {flow.name!r} is not active")
         self.settle()
         self._deactivate(flow)
-        self._rebalance()
+        self._after_change()
         return flow.transferred
+
+    def finish_many(self, flows: Sequence[FluidFlow]) -> List[float]:
+        """Deactivate many flows; returns their transferred bytes in order.
+
+        Equivalent to ``[stop(f) for f in flows]`` — under coalescing the
+        batch shares one settle and one deferred rebalance (the bulk leg
+        of rail failover and drain paths).
+        """
+        self.settle()
+        moved: List[float] = []
+        for flow in flows:
+            if not flow._active:
+                raise SimulationError(f"flow {flow.name!r} is not active")
+            self._deactivate(flow)
+            self._after_change()
+            moved.append(flow.transferred)
+        return moved
 
     def set_cap(self, flow: FluidFlow, cap: Optional[float]) -> None:
         """Change a flow's rate cap (e.g. a TCP window update)."""
@@ -464,7 +605,7 @@ class FluidScheduler:
             for r in flow._weights:
                 self._dirty[r] = None
             self._dirty_flows[flow] = None
-            self._rebalance()
+            self._after_change()
 
     def settle(self) -> None:
         """Advance all active flows' progress to the current instant.
@@ -481,6 +622,27 @@ class FluidScheduler:
         elapsed = now - self._last_settle
         if elapsed <= 0:
             self._last_settle = now
+            return
+        if self._pending:
+            # Defensive late flush.  The engine normally flushes deferred
+            # rebalances before the clock advances, so this path is not
+            # reached from run()/step(); if a caller advanced time some
+            # other way, the deferred transitions happened at the epoch's
+            # start — their rates govern the whole elapsed interval, so
+            # apply the allocation first, then accrue at the fresh rates.
+            self._pending = False
+            self.stats.rebalances += 1
+            FluidStats.total_rebalances += 1
+            self._allocate()
+            if self._array:
+                self._settle_array(elapsed)
+            else:
+                self._settle_python(elapsed)
+            self._last_settle = now
+            hub = self._hub
+            if hub._channels:
+                hub.on_epoch(now)
+            self._schedule_next_completion()
             return
         if self._array:
             self._settle_array(elapsed)
@@ -503,7 +665,7 @@ class FluidScheduler:
         # happen exactly once, and the charge loop is skipped outright
         # for the (common) uncharged flows.
         for flow in self._active:
-            rate = flow.rate
+            rate = flow._rate
             if rate <= 0:
                 continue
             delta = rate * elapsed
@@ -531,7 +693,7 @@ class FluidScheduler:
             # (same arithmetic, element by element).
             f_tr = self._f_transferred
             for flow in active:
-                rate = flow.rate
+                rate = flow._rate
                 if rate <= 0:
                     continue
                 delta = rate * elapsed
@@ -737,7 +899,8 @@ class FluidScheduler:
             self._dirty[r] = None
         if flow._slot >= 0:
             self._release_slot(flow)
-        flow.rate = 0.0
+        flow._rate = 0.0
+        flow._sched = None
         if flow.done is not None and not flow.done.triggered:
             flow.done.succeed(flow._transferred)
 
@@ -1190,13 +1353,13 @@ class FluidScheduler:
         horizon = math.inf
         for f in self._active:
             size = f.size
-            if size is None or f.rate <= 0:
+            if size is None or f._rate <= 0:
                 continue
             remaining = size - f._transferred
             if remaining <= _EPS * size:
                 horizon = 0.0
                 break
-            eta = remaining / f.rate
+            eta = remaining / f._rate
             if eta < horizon:
                 horizon = eta
         if not math.isfinite(horizon):
@@ -1213,12 +1376,12 @@ class FluidScheduler:
             horizon = math.inf
             for f in active:
                 size = f.size
-                if size is None or f.rate <= 0:
+                if size is None or f._rate <= 0:
                     continue
                 remaining = size - float(f_tr[f._slot])
                 if remaining <= _EPS * size:
                     return 0.0
-                eta = remaining / f.rate
+                eta = remaining / f._rate
                 if eta < horizon:
                     horizon = eta
             return horizon if math.isfinite(horizon) else None
@@ -1269,7 +1432,7 @@ class FluidScheduler:
         for f in finished:
             f.transferred = f.size  # snap away float dust
             self._deactivate(f)
-        self._rebalance()
+        self._after_change()
 
 
 # ---------------------------------------------------------------------------

@@ -215,6 +215,9 @@ class BoundaryPort:
         for e in range(1, len(grants)):
             yield sim.timeout_at(e * self.epoch_dt)
             self._harvest(grants[e - 1])
+            # Under churn coalescing every stub re-granted at this epoch
+            # instant (and any same-instant job churn) shares a single
+            # deferred rebalance, flushed before the clock advances.
             self.stub.set_capacity(grants[e])
 
     def finalize(self) -> None:
@@ -490,7 +493,9 @@ def run_unsharded(*, target: str, n_cells: int,
             fn(ctx=ctx, cell=cell, ports=ports, horizon=horizon, **params))
         cell_ports.append(ports)
     base.sim.run(until=horizon)
-    base.fluid.settle()
+    # flush(): settle progress *and* apply any coalesced rebalance so
+    # the finishers read fully settled rates and accumulators.
+    base.fluid.flush()
     ledgers = [finish() for finish in finishers]
     exchange = {
         "mode": "unsharded",
@@ -544,9 +549,10 @@ def demo_cell(*, ctx: Context, cell: int, ports: Dict[str, BoundaryPort],
     ctx.fluid.start(cross)
 
     def finish() -> dict:
-        for flow in locals_ + [cross]:
-            if flow._active:
-                ctx.fluid.stop(flow)
+        # Bulk drain: one settle covers every still-open flow (identical
+        # to stopping them one by one, but a single coalesced rebalance).
+        ctx.fluid.finish_many(
+            [f for f in locals_ + [cross] if f._active])
         return {
             "cell": cell,
             "local_bytes": [f.transferred for f in locals_],

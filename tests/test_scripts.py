@@ -4,7 +4,8 @@
 corrupt baseline or an ungated result file must fail the build with the
 benchmark's name in the output, not degrade into a skipped comparison.
 These tests drive the script in-process (``main(argv)``) against
-temporary result/baseline trees.
+temporary result/baseline trees.  ``scripts/bench_summary.py`` — the
+folded ``BENCH_report.json`` CI artifact — gets the same treatment.
 """
 
 import importlib.util
@@ -111,6 +112,15 @@ def test_perf_regression_still_fails(tree, capsys):
     assert "regressed" in out
 
 
+def test_folded_report_is_not_gated(tree, capsys):
+    # bench_summary.py's fold lands next to the results; it is an
+    # artifact over them, not an ungated benchmark.
+    baselines, results = tree
+    _write(results / "BENCH_report.json", {"benchmarks": [], "totals": {}})
+    rc, out = _run(baselines, results, capsys)
+    assert rc == 0
+
+
 def test_check_drift_still_fails(tree, capsys):
     baselines, results = tree
     check_b = {"metric": "goodput", "measured": 10, "ok": True}
@@ -120,3 +130,68 @@ def test_check_drift_still_fails(tree, capsys):
     rc, out = _run(baselines, results, capsys)
     assert rc == 1
     assert "drifted" in out
+
+
+# --- bench_summary: the folded CI artifact -------------------------------------
+
+_SUMMARY = _SCRIPT.parent / "bench_summary.py"
+_sspec = importlib.util.spec_from_file_location("bench_summary", _SUMMARY)
+summary = importlib.util.module_from_spec(_sspec)
+_sspec.loader.exec_module(summary)
+
+
+def _summary_run(results, output, capsys):
+    rc = summary.main(["--results", str(results), "-o", str(output)])
+    return rc, capsys.readouterr()
+
+
+def test_summary_folds_results_and_surfaces_speedup(tmp_path, capsys):
+    results = tmp_path / "results"
+    _write(results / "fig99.json",
+           _result(checks=[{"metric": "goodput", "ok": True}]) |
+           {"name": "fig99", "wall_seconds": 1.5})
+    _write(results / "churn99.json",
+           _result() | {"name": "churn99", "wall_seconds": 0.5,
+                        "speedup": 4.2})
+    out_path = tmp_path / "BENCH_report.json"
+    rc, cap = _summary_run(results, out_path, capsys)
+    assert rc == 0
+    report = json.loads(out_path.read_text())
+    rows = {r["name"]: r for r in report["benchmarks"]}
+    assert set(rows) == {"fig99", "churn99"}
+    assert rows["churn99"]["speedup"] == 4.2
+    assert "speedup" not in rows["fig99"]
+    assert report["totals"] == {
+        "benchmarks": 2, "wall_seconds": 2.0, "all_ok": True,
+        "checks_total": 1, "checks_failed": 0}
+    assert "2 benchmarks" in cap.out
+
+
+def test_summary_rerun_skips_its_own_output(tmp_path, capsys):
+    results = tmp_path / "results"
+    _write(results / "fig99.json", _result() | {"wall_seconds": 1.0})
+    out_path = results / "BENCH_report.json"
+    for _ in range(2):  # second pass must not ingest the report itself
+        rc, _cap = _summary_run(results, out_path, capsys)
+        assert rc == 0
+    report = json.loads(out_path.read_text())
+    assert report["totals"]["benchmarks"] == 1
+
+
+def test_summary_flags_malformed_result_but_still_reports(tmp_path, capsys):
+    results = tmp_path / "results"
+    _write(results / "fig99.json", _result() | {"wall_seconds": 1.0})
+    _write(results / "broken.json", "{not json")
+    out_path = tmp_path / "BENCH_report.json"
+    rc, cap = _summary_run(results, out_path, capsys)
+    assert rc == 1
+    assert "broken.json" in cap.err
+    assert json.loads(out_path.read_text())["totals"]["benchmarks"] == 1
+
+
+def test_summary_empty_results_dir_is_an_error(tmp_path, capsys):
+    results = tmp_path / "results"
+    results.mkdir()
+    rc, cap = _summary_run(results, tmp_path / "out.json", capsys)
+    assert rc == 2
+    assert "no benchmark results" in cap.err

@@ -142,8 +142,10 @@ def test_pooled_timeout_still_validates_delay():
 
 
 def test_fluid_stats_count_skipped_components():
+    # eager mode: each transition rebalances immediately, so the per-call
+    # recompute/skip deltas below are observable.
     sim = Simulator()
-    sched = FluidScheduler(sim)
+    sched = FluidScheduler(sim, churn="eager")
     ra = FluidResource(sched, 100.0, "ra")
     rb = FluidResource(sched, 200.0, "rb")
     fa = FluidFlow([(ra, 1.0)], size=None, cap=None, name="fa")
