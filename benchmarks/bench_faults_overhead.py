@@ -131,3 +131,108 @@ def test_faults_overhead(results_dir):
         f"(ceiling {MAX_OVERHEAD:.0%}; off {wall_off:.3f}s, "
         f"armed {wall_armed:.3f}s)"
     )
+
+
+# --- journal arm ------------------------------------------------------------------
+#
+# The write-ahead job journal exists only while a fault injector is
+# armed (``BrokerConfig.journal`` is a gate, not an allocation): with no
+# injector the journal field must stay None and ``journal=True`` must be
+# indistinguishable — in results and in wall time — from
+# ``journal=False``.  This is the fault-free-cost gate for the
+# crash-tolerant control plane.
+
+#: Journal arm's own ceiling: the code path difference is one attribute
+#: check, so "~0%" — but wall clocks are noisy, share the faults ceiling.
+JOURNAL_ROUNDS = 3
+JOURNAL_ITERS = 6
+
+
+def _broker_run_once(journal: bool) -> dict:
+    """One timed sample: a served broker workload, no injector anywhere."""
+    from repro.service import (BrokerConfig, RailFleet, TransferBroker,
+                               WorkloadConfig)
+    from repro.sim.context import Context
+    from repro.util.units import MIB
+
+    saved = os.environ.pop(REPRO_FAULTS_ENV, None)
+    try:
+        t0 = time.perf_counter()
+        for _ in range(JOURNAL_ITERS):
+            ctx = Context.create(seed=23)
+            fleet = RailFleet(ctx, n_hosts=2)
+            broker = TransferBroker(
+                ctx, fleet, BrokerConfig(journal=journal),
+                workload=WorkloadConfig(rate=60.0, size_mean=64 * MIB))
+            broker.serve()
+            ctx.sim.run(until=8.0)
+            broker.drain()
+            ctx.sim.run(until=12.0)
+            summary = broker.summary()
+            journal_absent = broker.journal is None
+        wall = time.perf_counter() - t0
+    finally:
+        if saved is not None:
+            os.environ[REPRO_FAULTS_ENV] = saved
+    return {"wall": wall, "summary": summary,
+            "journal_absent": journal_absent}
+
+
+def test_journal_overhead_without_injector(results_dir):
+    runs = {"off": [], "on": []}
+    for _ in range(JOURNAL_ROUNDS):
+        runs["off"].append(_broker_run_once(journal=False))
+        runs["on"].append(_broker_run_once(journal=True))
+    off, on = runs["off"][0], runs["on"][0]
+    wall_off = min(r["wall"] for r in runs["off"])
+    wall_on = min(r["wall"] for r in runs["on"])
+    overhead = wall_on / wall_off - 1.0 if wall_off > 0 else float("inf")
+
+    identical = off["summary"] == on["summary"]
+    gated_off = all(r["journal_absent"] for rs in runs.values() for r in rs)
+
+    checks = [
+        ("broker-summary-identical-with-journal-enabled", True, identical,
+         identical),
+        ("journal-never-materializes-without-injector", True, gated_off,
+         gated_off),
+    ]
+    all_ok = all(ok for _, _, _, ok in checks)
+
+    payload = {
+        "name": "journal_overhead",
+        "experiment_id": "journal-overhead",
+        "quick": True,
+        "ops": 0,
+        "wall_seconds": wall_on,
+        "events_per_sec": 0.0,  # wall-ratio benchmark; not events-gated
+        "jobs": 1,
+        "cache": None,
+        "all_ok": all_ok,
+        "checks": [
+            {"metric": m, "paper": repr(p), "measured": repr(v), "ok": ok}
+            for m, p, v, ok in checks
+        ],
+        "wall_off": wall_off,
+        "wall_on": wall_on,
+        "overhead_fraction": overhead,
+        "rounds": JOURNAL_ROUNDS,
+        "iters": JOURNAL_ITERS,
+    }
+    results_dir.mkdir(parents=True, exist_ok=True)
+    (results_dir / "journal_overhead.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"\njournal (no injector) overhead: off {wall_off * 1e3:.0f} ms, "
+          f"on {wall_on * 1e3:.0f} ms -> {overhead:+.1%} "
+          f"(ceiling {MAX_OVERHEAD:.0%})")
+
+    assert all_ok, "journal=True perturbed a fault-free run: " + ", ".join(
+        f"{m} (expected={p!r}, measured={v!r})"
+        for m, p, v, ok in checks if not ok
+    )
+    assert overhead < MAX_OVERHEAD, (
+        f"unarmed journal gate costs {overhead:.1%} "
+        f"(ceiling {MAX_OVERHEAD:.0%}; off {wall_off:.3f}s, "
+        f"on {wall_on:.3f}s)"
+    )

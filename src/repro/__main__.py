@@ -72,7 +72,7 @@ def _apply_faults_flag(args) -> int:
 def cmd_run(args) -> int:
     """Run one experiment (or all) and print its report."""
     rc = (_apply_faults_flag(args) or _apply_service_flags(args)
-          or _apply_gang_flag(args))
+          or _apply_availability_flags(args) or _apply_gang_flag(args))
     if rc:
         return rc
     mods = _all_modules()
@@ -100,7 +100,7 @@ def cmd_run(args) -> int:
 def cmd_report(args) -> int:
     """Regenerate the EXPERIMENTS.md ledger."""
     rc = (_apply_faults_flag(args) or _apply_service_flags(args)
-          or _apply_gang_flag(args))
+          or _apply_availability_flags(args) or _apply_gang_flag(args))
     if rc:
         return rc
     cache = None if args.no_cache else ResultCache(args.cache_dir)
@@ -145,6 +145,7 @@ def cmd_report(args) -> int:
         plan_note = "ambient" if faults.get("plan") else "none"
         print(f"[faults] plan={plan_note}  "
               f"injected={faults['faults_injected']}  "
+              f"domains={faults['domain_faults']}  "
               f"retransmitted_bytes={faults['retransmitted_bytes']:.0f}  "
               f"reconnects={faults['reconnects']}  "
               f"recovery_seconds={faults['recovery_seconds']:.2f}")
@@ -154,7 +155,10 @@ def cmd_report(args) -> int:
               f"completed={service['completed']}  "
               f"shed={service['shed']}  "
               f"rescheduled={service['rescheduled']}  "
-              f"remote_placements={service['remote_placements']}")
+              f"remote_placements={service['remote_placements']}  "
+              f"crashes={service['crashes']}  "
+              f"replayed={service['replayed']}  "
+              f"lost={service['lost']}")
     gang = stats.get("gang")
     if gang is not None:
         print(f"[gang] scenarios_ganged={gang['scenarios_ganged']}  "
@@ -236,6 +240,50 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
         "REPRO_SERVICE_ARRIVAL; part of the result-cache identity)")
 
 
+def _add_availability_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--availability-hosts", default=None, metavar="N[,N...]",
+        help="host counts the ext-availability sweep runs, e.g. '128' or "
+        "'128,512' (sets REPRO_AVAIL_HOSTS; part of the result-cache "
+        "identity)")
+    parser.add_argument(
+        "--availability-rates", default=None, metavar="R[,R...]",
+        help="ToR fault rates (fraction of pods cut) for ext-availability, "
+        "e.g. '0.5' or '0.25,0.5,1.0' (sets REPRO_AVAIL_RATE; part of "
+        "the result-cache identity)")
+
+
+def _apply_availability_flags(args) -> int:
+    """Export the ext-availability sweep knobs (inherited by workers).
+
+    Validated up front like ``--faults``: a malformed list fails here
+    with the flag's name, not from inside a worker mid-run.
+    """
+    hosts = getattr(args, "availability_hosts", None)
+    if hosts is not None:
+        try:
+            parsed = [int(tok) for tok in hosts.split(",") if tok.strip()]
+            if not parsed or any(h <= 0 for h in parsed):
+                raise ValueError
+        except ValueError:
+            print(f"bad --availability-hosts: expected positive integers, "
+                  f"got {hosts!r}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_AVAIL_HOSTS"] = hosts
+    rates = getattr(args, "availability_rates", None)
+    if rates is not None:
+        try:
+            parsed_r = [float(tok) for tok in rates.split(",") if tok.strip()]
+            if not parsed_r or any(r < 0 for r in parsed_r):
+                raise ValueError
+        except ValueError:
+            print(f"bad --availability-rates: expected non-negative "
+                  f"numbers, got {rates!r}", file=sys.stderr)
+            return 2
+        os.environ["REPRO_AVAIL_RATE"] = rates
+    return 0
+
+
 def _add_gang_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--gang", default=None, choices=("auto", "off"),
@@ -303,6 +351,7 @@ def main(argv=None) -> int:
     _add_jobs_flag(p_run)
     _add_faults_flag(p_run)
     _add_service_flags(p_run)
+    _add_availability_flags(p_run)
     _add_gang_flag(p_run)
     p_run.set_defaults(fn=cmd_run)
 
@@ -322,6 +371,7 @@ def main(argv=None) -> int:
     _add_jobs_flag(p_rep)
     _add_faults_flag(p_rep)
     _add_service_flags(p_rep)
+    _add_availability_flags(p_rep)
     _add_gang_flag(p_rep)
     p_rep.add_argument(
         "--cache-dir", default=".repro-cache", metavar="DIR",

@@ -24,7 +24,7 @@ RFTP's design choices map to the model like this (refs [21-23]):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Literal, Optional, Union
 
 from repro.faults.injector import faults_active
@@ -76,11 +76,38 @@ class RftpConfig:
     recover: bool = True
     #: Timeout/backoff policy; None uses the stack default.
     recovery: Optional[RecoveryConfig] = None
+    #: Sweepable overrides for the recovery policy.  Each one, when set,
+    #: overlays the corresponding :class:`RecoveryConfig` field on top of
+    #: ``recovery`` (or the stack default), so experiments can sweep a
+    #: single knob without assembling a whole policy object.  Unset (the
+    #: default) keeps the stack values: 0.2 s detect, 0.1 s backoff base
+    #: doubling to a 2.0 s cap, 8 reconnect attempts.
+    detect_timeout: Optional[float] = None
+    backoff_base: Optional[float] = None
+    backoff_cap: Optional[float] = None
+    retransmit_budget: Optional[int] = None
 
     def __post_init__(self):
         check_positive("block_size", self.block_size)
         check_positive("streams_per_link", self.streams_per_link)
         check_positive("io_threads_per_link", self.io_threads_per_link)
+        # Validation of the overlay values themselves is delegated to
+        # RecoveryConfig.__post_init__ via resolved_recovery(): building
+        # the overlaid policy here fails fast at construction time.
+        self.resolved_recovery()
+
+    def resolved_recovery(self) -> RecoveryConfig:
+        """The effective recovery policy: base plus any field overrides."""
+        base = self.recovery or DEFAULT_RECOVERY
+        overrides = {
+            name: value
+            for name, value in (("detect_timeout", self.detect_timeout),
+                                ("backoff_base", self.backoff_base),
+                                ("backoff_cap", self.backoff_cap),
+                                ("retransmit_budget", self.retransmit_budget))
+            if value is not None
+        }
+        return replace(base, **overrides) if overrides else base
 
 
 @dataclass
@@ -385,7 +412,7 @@ class RftpTransfer:
     # executes and the transfer behaves exactly as before.
     @property
     def _recovery(self) -> RecoveryConfig:
-        return self.config.recovery or DEFAULT_RECOVERY
+        return self.config.resolved_recovery()
 
     def _boost(self) -> float:
         """Credit multiplier: dead rails' windows reassigned to survivors."""

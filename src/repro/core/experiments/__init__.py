@@ -31,7 +31,9 @@ ext_*               claims the paper could not test: E1 storage-to-
                     GridFTP stall), E6 transfer-service capacity
                     curves (NUMA-aware broker vs blind baseline),
                     E7 fleet-scale fabric sweeps (topology-sharded
-                    runtime, pooled-QP vs per-job cliffs)
+                    runtime, pooled-QP vs per-job cliffs),
+                    E8 fleet availability under failure domains
+                    (journaled vs amnesiac broker restart, MTTR)
 ==================  ==============================================
 """
 
@@ -62,6 +64,7 @@ from repro.core.experiments import (  # noqa: F401 (re-exported for discovery)
     exp_motivating,
     exp_table1,
     ext_100g,
+    ext_availability,
     ext_filesize_mix,
     ext_fleet,
     ext_recovery,
@@ -78,6 +81,7 @@ ALL_EXTENSIONS = {
     "recovery": ext_recovery,
     "service": ext_service,
     "fleet": ext_fleet,
+    "availability": ext_availability,
 }
 
 ALL_ABLATIONS = {

@@ -1,0 +1,264 @@
+"""Process-pool-safe legs for the fleet availability experiment.
+
+Each leg runs one :class:`~repro.service.fabric.FabricSpec` through the
+topology-sharded runtime under an **ambient fault plan** (the
+``REPRO_FAULTS`` mechanism, scoped to the leg body): correlated
+``tor:<pod>`` cuts generated deterministically from a fault rate, plus
+a mid-run broker crash (``crash@transfer:*``).  The plan string is a
+pure function of the leg parameters, so it hashes into the nested cell
+tasks' cache identities exactly like a CLI ``--faults`` flag would.
+
+Three leg families:
+
+* :func:`availability_leg` — the curve point: availability, p99 job
+  latency and goodput at one (hosts, fault-rate) coordinate, with a
+  journaled or amnesiac broker restart in the middle;
+* :func:`mttr_leg` — the recovery story: the fleet goodput timeline
+  around a broker crash, bucketed into an MTTR curve, with pre-crash
+  vs post-restart goodput and the exactly-once byte audit;
+* :func:`domain_determinism_leg` — the correctness anchor: one fabric
+  under a staggered ``power:*`` cascade at two different shard counts
+  must produce byte-identical per-pod ledgers (each cell draws its
+  stagger offsets from its own ``"faults"`` stream).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.calibration import Calibration
+
+__all__ = ["availability_leg", "domain_determinism_leg", "fault_plan_for",
+           "mttr_leg"]
+
+#: Window (seconds) for pre-crash / post-restart goodput comparison.
+_GOODPUT_WINDOW = 1.0
+#: MTTR-curve bucket width in seconds.
+_BUCKET_S = 0.5
+
+
+@contextmanager
+def _ambient_faults(plan: str):
+    """Scope ``REPRO_FAULTS`` to the enclosed fabric run (and restore)."""
+    old = os.environ.get("REPRO_FAULTS")
+    os.environ["REPRO_FAULTS"] = plan
+    try:
+        yield
+    finally:
+        if old is None:
+            del os.environ["REPRO_FAULTS"]
+        else:
+            os.environ["REPRO_FAULTS"] = old
+
+
+def fault_plan_for(*, n_pods: int, fault_rate: float, serve_s: float,
+                   crash_at: float = 0.0, restart_s: float = 0.5,
+                   outage_s: float = 1.0, stagger: float = 0.05) -> str:
+    """The deterministic availability plan for one curve point.
+
+    ``fault_rate`` is the fraction of pods whose ToR is cut once during
+    the serve window: ``round(rate x n_pods)`` evenly-spaced pods go
+    dark for ``outage_s`` seconds at evenly-spaced times, each cut
+    cascading over seeded ``stagger`` offsets.  ``crash_at > 0`` adds a
+    fleet-wide broker crash restarting after ``restart_s``.
+    """
+    clauses: List[str] = []
+    n_cuts = int(round(fault_rate * n_pods))
+    for k in range(n_cuts):
+        pod = (k * n_pods) // max(1, n_cuts)
+        at = 1.0 + (k + 0.5) * (serve_s - 1.0) / max(1, n_cuts)
+        clauses.append(
+            f"link-down@tor:{pod},at={at:.3f},duration={outage_s}"
+            f",stagger={stagger}")
+    if crash_at > 0.0:
+        clauses.append(f"crash@transfer:*,at={crash_at},duration={restart_s}")
+    return ";".join(clauses)
+
+
+def _merge_cells(cells: List[dict], serve_s: float) -> Dict[str, Any]:
+    """Fold per-pod ledgers into one availability scorecard."""
+    latencies = np.sort(np.concatenate(
+        [np.asarray(c["latencies_s"], dtype=float) for c in cells]))
+    p50 = p99 = 0.0
+    if latencies.size:
+        p50, p99 = (float(v) for v in np.percentile(latencies, [50.0, 99.0]))
+    active = sum(c["queued"] + c["running"] for c in cells)
+    submitted = sum(c["submitted"] for c in cells)
+    dropped = sum(c["dropped"] for c in cells)
+    completed = sum(c["completed"] for c in cells)
+    offered = submitted + dropped
+    settled = offered - active
+    audits = [c["audit"] for c in cells]
+    out: Dict[str, Any] = {
+        "submitted": submitted,
+        "offered": offered,
+        "completed": completed,
+        "shed": sum(c["shed"] for c in cells),
+        "cancelled": sum(c["cancelled"] for c in cells),
+        "failed": sum(c["failed"] for c in cells),
+        "lost": sum(c["lost"] for c in cells),
+        "lost_bytes": sum(c["lost_bytes"] for c in cells),
+        "dropped": dropped,
+        "crashes": sum(c["crashes"] for c in cells),
+        "replayed": sum(c["replayed"] for c in cells),
+        "rescheduled": sum(c["rescheduled"] for c in cells),
+        "active_end": active,
+        "bytes_completed": sum(c["bytes_completed"] for c in cells),
+        "availability": completed / settled if settled > 0 else 1.0,
+        "goodput_Bps": sum(c["bytes_completed"] for c in cells) / serve_s,
+        "p50_ms": p50 * 1e3,
+        "p99_ms": p99 * 1e3,
+        "audit_ok": all(
+            a["jobs_conserved"] and a["completions_exact"] and a["bytes_exact"]
+            for a in audits),
+        "unobserved": sum(a["unobserved"] for a in audits),
+    }
+    out["conserved"] = (
+        submitted == completed + out["shed"] + out["cancelled"]
+        + out["failed"] + out["lost"] + active)
+    return out
+
+
+def _timeline(cells: List[dict]) -> List[Tuple[float, float]]:
+    """All pods' (time, bytes) completion events, time-sorted."""
+    events: List[Tuple[float, float]] = []
+    for c in cells:
+        events.extend((float(t), float(b)) for t, b in c["goodput_timeline"])
+    events.sort()
+    return events
+
+
+def _window_goodput(events: List[Tuple[float, float]], lo: float,
+                    hi: float) -> float:
+    """Completed bytes/s inside ``[lo, hi)``."""
+    width = hi - lo
+    if width <= 0.0:
+        return 0.0
+    return sum(b for t, b in events if lo <= t < hi) / width
+
+
+def availability_leg(*, seed: int, cal: Optional[Calibration], hosts: int,
+                     fault_rate: float, journal: bool,
+                     hosts_per_pod: int = 8, rate_per_host: float = 3.0,
+                     size_mean_mib: float = 1024.0, wan_tenants: int = 2,
+                     serve_s: float = 4.0, horizon_s: float = 6.0,
+                     crash_at: float = 2.0, restart_s: float = 0.5,
+                     fixed_rounds: int = 2) -> Dict[str, Any]:
+    """One availability curve point: ToR cuts + a broker crash."""
+    from repro.core.experiments.fleet_legs import _spec
+    from repro.service.fabric import run_fabric
+
+    spec = _spec(hosts, hosts_per_pod,
+                 rate_per_host=rate_per_host, size_mean_mib=size_mean_mib,
+                 wan_tenants=wan_tenants, serve_s=serve_s,
+                 horizon_s=horizon_s, journal=journal)
+    plan = fault_plan_for(
+        n_pods=spec.n_pods, fault_rate=fault_rate, serve_s=serve_s,
+        crash_at=crash_at, restart_s=restart_s)
+    with _ambient_faults(plan):
+        result = run_fabric(spec, seed=seed, cal=cal,
+                            fixed_rounds=fixed_rounds)
+    out = _merge_cells(result["cells"], serve_s)
+    out.update(hosts=hosts, fault_rate=fault_rate, journal=journal,
+               plan=plan, converged=result["exchange"]["converged"])
+    return out
+
+
+def mttr_leg(*, seed: int, cal: Optional[Calibration], hosts: int,
+             journal: bool, hosts_per_pod: int = 8,
+             rate_per_host: float = 3.0, size_mean_mib: float = 1024.0,
+             serve_s: float = 6.0, horizon_s: float = 9.0,
+             crash_at: float = 3.0, restart_s: float = 0.5,
+             fixed_rounds: int = 2) -> Dict[str, Any]:
+    """The MTTR story: goodput timeline around one broker crash.
+
+    No ToR cuts here — the only fault is the crash, so the timeline
+    isolates restart recovery: how fast a journaled broker returns to
+    pre-crash goodput versus the amnesiac baseline that must refill
+    its pipeline from scratch.
+    """
+    from repro.core.experiments.fleet_legs import _spec
+    from repro.service.fabric import run_fabric
+
+    spec = _spec(hosts, hosts_per_pod,
+                 rate_per_host=rate_per_host, size_mean_mib=size_mean_mib,
+                 serve_s=serve_s, horizon_s=horizon_s, journal=journal)
+    plan = f"crash@transfer:*,at={crash_at},duration={restart_s}"
+    with _ambient_faults(plan):
+        result = run_fabric(spec, seed=seed, cal=cal,
+                            fixed_rounds=fixed_rounds)
+    cells = result["cells"]
+    out = _merge_cells(cells, serve_s)
+    events = _timeline(cells)
+    restart_at = crash_at + restart_s
+    pre = _window_goodput(events, crash_at - _GOODPUT_WINDOW, crash_at)
+    # Recovery: slide a goodput window from the restart forward (while
+    # arrivals still flow) — the best window is the recovered level, and
+    # MTTR is the time from crash until a window first clears 95% of the
+    # pre-crash goodput.  A single fixed window would alias the Poisson
+    # arrival noise into the gate.
+    post = 0.0
+    mttr_s = float("inf")
+    t = restart_at
+    while t + _GOODPUT_WINDOW <= serve_s + _GOODPUT_WINDOW:
+        g = _window_goodput(events, t, t + _GOODPUT_WINDOW)
+        post = max(post, g)
+        if mttr_s == float("inf") and pre > 0 and g >= 0.95 * pre:
+            mttr_s = t - crash_at
+        t += _BUCKET_S / 2.0
+    n_buckets = int(round(horizon_s / _BUCKET_S))
+    curve = [
+        round(_window_goodput(events, k * _BUCKET_S, (k + 1) * _BUCKET_S), 3)
+        for k in range(n_buckets)
+    ]
+    out.update(
+        hosts=hosts, journal=journal, plan=plan,
+        crash_at=crash_at, restart_at=restart_at,
+        pre_crash_goodput_Bps=pre,
+        post_restart_goodput_Bps=post,
+        recovery_ratio=post / pre if pre > 0 else 0.0,
+        mttr_s=mttr_s,
+        mttr_curve_Bps=curve,
+    )
+    return out
+
+
+def domain_determinism_leg(*, seed: int, cal: Optional[Calibration],
+                           n_pods: int = 4, hosts_per_pod: int = 2,
+                           horizon_s: float = 4.0) -> Dict[str, Any]:
+    """Correlated-domain faults at two shard counts must agree exactly."""
+    from repro.service.fabric import FabricSpec, run_fabric
+
+    # Deliberately overloaded (offered demand > rail rate): the cuts at
+    # 1.0-2.0 s must always catch running jobs, whatever the seed, or
+    # `rescheduled` would be 0 and the anchor would prove nothing.
+    spec = FabricSpec(
+        n_pods=n_pods, hosts_per_pod=hosts_per_pod, n_wan_links=1,
+        wan_gbps=20.0, elephants_per_pod=1, elephant_gbps=4.0,
+        rate_per_host=6.0, size_mean_mib=1024.0, wan_tenants=1,
+        serve_s=horizon_s - 1.0, horizon_s=horizon_s)
+    plan = ("link-down@power:0,at=1.0,duration=1.0,stagger=0.1;"
+            f"link-down@tor:{n_pods - 1},at=1.5,duration=0.5,stagger=0.05")
+    with _ambient_faults(plan):
+        few = run_fabric(spec, seed=seed, cal=cal, n_shards=1,
+                         fixed_rounds=2)
+        many = run_fabric(spec, seed=seed, cal=cal, n_shards=n_pods,
+                          fixed_rounds=2)
+    mismatches = 0
+    for a, b in zip(few["cells"], many["cells"]):
+        for key in ("submitted", "completed", "rescheduled",
+                    "bytes_completed"):
+            if a[key] != b[key]:
+                mismatches += 1
+    return {
+        "plan": plan,
+        "cells": n_pods,
+        "mismatches": mismatches,
+        "completed": sum(c["completed"] for c in few["cells"]),
+        "rescheduled": sum(c["rescheduled"] for c in few["cells"]),
+        "identical": mismatches == 0,
+    }

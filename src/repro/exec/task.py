@@ -44,7 +44,12 @@ __all__ = ["SimTask"]
 #: mode joins the identity (coalesce and eager runs are numerically
 #: equivalent but not event-for-event identical, so they never share a
 #: cache entry), and pre-coalescing entries are retired wholesale.
-CACHE_FORMAT_VERSION = 8
+#: v9: failure domains and the crash-tolerant control plane — fault
+#: plans grew domain targets (``host:``/``tor:``/``power:``) and a
+#: ``stagger`` knob, brokers grew journal/heartbeat/retry/brownout
+#: fields, and fabric ledgers carry audit + goodput-timeline keys;
+#: pre-availability entries are retired wholesale.
+CACHE_FORMAT_VERSION = 9
 
 
 def _canonical(obj: Any) -> Any:

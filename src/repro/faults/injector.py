@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.plan import FaultPlan, FaultSpec, parse_range
 
 __all__ = ["FaultInjector", "FaultStats", "faults_active"]
 
@@ -36,6 +36,7 @@ class FaultStats:
     __slots__ = (
         "faults_injected", "unresolved", "retransmitted_bytes",
         "streams_failed", "reconnects", "giveups", "recovery_seconds",
+        "domain_faults",
     )
 
     #: Process-global totals across all injectors (class-level).
@@ -46,6 +47,7 @@ class FaultStats:
     total_reconnects = 0
     total_giveups = 0
     total_recovery_seconds = 0.0
+    total_domain_faults = 0
 
     def __init__(self) -> None:
         self.faults_injected = 0
@@ -55,6 +57,7 @@ class FaultStats:
         self.reconnects = 0
         self.giveups = 0
         self.recovery_seconds = 0.0
+        self.domain_faults = 0
 
     # Increment helpers keep the instance counter and the process-global
     # class total in lockstep (single call site per event kind).
@@ -84,6 +87,10 @@ class FaultStats:
         self.giveups += 1
         FaultStats.total_giveups += 1
 
+    def count_domain(self) -> None:
+        self.domain_faults += 1
+        FaultStats.total_domain_faults += 1
+
     @classmethod
     def process_totals(cls) -> dict:
         """The process-global counters as a plain dict."""
@@ -95,6 +102,7 @@ class FaultStats:
             "reconnects": cls.total_reconnects,
             "giveups": cls.total_giveups,
             "recovery_seconds": cls.total_recovery_seconds,
+            "domain_faults": cls.total_domain_faults,
         }
 
     def as_dict(self) -> dict:
@@ -107,6 +115,7 @@ class FaultStats:
             "reconnects": self.reconnects,
             "giveups": self.giveups,
             "recovery_seconds": self.recovery_seconds,
+            "domain_faults": self.domain_faults,
         }
 
 
@@ -130,6 +139,8 @@ class FaultInjector:
         self.ssds: List = []
         self.targets: List = []
         self.transfers: List[Tuple[str, object]] = []
+        #: (category, name) -> correlated link set, e.g. ("tor", "3").
+        self.domains: Dict[Tuple[str, str], List] = {}
         self._cm_penalty: Dict[int, Tuple[float, float]] = {}  # id(link) -> (until, s)
         self._rng = None
         ctx.faults = self
@@ -167,6 +178,20 @@ class FaultInjector:
         """
         self.transfers.append((name, listener))
 
+    def register_domain(self, category: str, name: str, links) -> None:
+        """Register a failure domain: *links* fail together under *name*.
+
+        Domain categories are hierarchical topology groups — ``host``
+        (one machine's rails), ``tor`` (a pod behind one ToR switch),
+        ``power`` (the pods sharing a power domain).  Fleets register
+        their hosts at construction; the fabric registers pod and power
+        domains per cell (:func:`repro.service.fabric.fleet_cell`), so
+        pod/ToR cuts land exactly on shard boundaries.  Registering the
+        same domain twice extends it (the unsharded reference path
+        builds every pod in one context).
+        """
+        self.domains.setdefault((category, name), []).extend(links)
+
     # -- CM handshake penalties ----------------------------------------------------
     def handshake_delay(self, link) -> float:
         """Extra seconds a CM handshake over *link* pays right now."""
@@ -197,6 +222,8 @@ class FaultInjector:
     def _resolve(self, spec: FaultSpec) -> list:
         category = spec.category
         sel = spec.selector
+        if category in ("host", "tor", "power"):
+            return self._resolve_domain(category, sel)
         if category in ("link", "nic"):
             pool = self.links
         elif category == "ssd":
@@ -212,7 +239,32 @@ class FaultInjector:
         if sel.isdigit():
             idx = int(sel)
             return [pool[idx]] if idx < len(pool) else []
+        rng = parse_range(sel)
+        if rng is not None:
+            lo, hi = rng
+            return pool[lo:hi + 1]
         return [c for c in pool if getattr(c, "name", None) == sel]
+
+    def _resolve_domain(self, category: str, sel: str) -> list:
+        """Expand a failure domain to its correlated link set.
+
+        Registration order is preserved and duplicates dropped (a link
+        may belong to several overlapping domains of one wildcard).
+        """
+        if sel == "*":
+            groups = [links for (cat, _nm), links in self.domains.items()
+                      if cat == category]
+        else:
+            hit = self.domains.get((category, sel))
+            groups = [hit] if hit is not None else []
+        out: list = []
+        seen: set = set()
+        for links in groups:
+            for link in links:
+                if id(link) not in seen:
+                    seen.add(id(link))
+                    out.append(link)
+        return out
 
     def _notify(self, hook: str, *args) -> None:
         for _, listener in self.transfers:
@@ -223,18 +275,43 @@ class FaultInjector:
     def _apply(self, spec: FaultSpec) -> None:
         targets = self._resolve(spec)
         if not targets:
-            self.stats.count_unresolved()
-            self.ctx.trace.emit("fault", "unresolved target",
-                                kind=spec.kind, target=spec.target)
+            if spec.is_domain:
+                # A domain missing from *this* context is expected under
+                # sharding (each cell registers only its own pods), so it
+                # is traced but not counted as a plan error.
+                self.ctx.trace.emit("fault", "domain not local",
+                                    kind=spec.kind, target=spec.target)
+            else:
+                self.stats.count_unresolved()
+                self.ctx.trace.emit("fault", "unresolved target",
+                                    kind=spec.kind, target=spec.target)
+            return
+        if spec.is_domain:
+            self.stats.count_domain()
+        if spec.stagger > 0.0:
+            # Correlated-but-cascading failure: every component of the
+            # expansion fires after its own seeded exponential offset,
+            # drawn in registration order so the cascade is identical at
+            # any worker or shard count (the draws happen in this cell's
+            # own "faults" stream).
+            if self._rng is None:
+                self._rng = self.ctx.rng.stream("faults")
+            for component in targets:
+                delay = float(self._rng.exponential(spec.stagger))
+                self.ctx.sim.timeout(delay).add_callback(
+                    lambda _ev, c=component: self._apply_one(spec, c))
             return
         for component in targets:
-            self.stats.count_injected()
-            self.ctx.trace.emit(
-                "fault", spec.kind,
-                target=getattr(component, "name", spec.target),
-                duration=spec.duration, magnitude=spec.magnitude,
-            )
-            getattr(self, "_apply_" + spec.kind.replace("-", "_"))(spec, component)
+            self._apply_one(spec, component)
+
+    def _apply_one(self, spec: FaultSpec, component) -> None:
+        self.stats.count_injected()
+        self.ctx.trace.emit(
+            "fault", spec.kind,
+            target=getattr(component, "name", spec.target),
+            duration=spec.duration, magnitude=spec.magnitude,
+        )
+        getattr(self, "_apply_" + spec.kind.replace("-", "_"))(spec, component)
 
     def _apply_link_down(self, spec: FaultSpec, link) -> None:
         permanent = spec.duration <= 0.0

@@ -19,11 +19,21 @@ and the ``REPRO_FAULTS`` environment variable)::
     loss@link:0,at=5,magnitude=0.3,period=4,count=5,jitter=0.5
 
 Targets are ``category:selector`` pairs; the selector is an index into
-the context's registration order, a component name, or ``*`` for all
-registered components of that category.  ``jitter`` adds an
+the context's registration order, an inclusive index range
+(``link:0-3``), a component name, or ``*`` for all registered
+components of that category.  ``jitter`` adds an
 exponentially-distributed delay (mean ``jitter`` seconds, drawn from the
 context's ``"faults"`` RNG stream) to each occurrence, so randomized
 plans stay bit-reproducible per seed.
+
+**Failure domains** are hierarchical targets over registered topology
+(``host:<name>``, ``tor:<pod>``, ``power:<domain>``): at arm time the
+injector expands a domain to the correlated set of links registered
+under it — a ToR cut takes out a whole pod of rails at once.  The
+``stagger`` field spreads a multi-component expansion over seeded
+exponential per-component offsets (mean ``stagger`` seconds from the
+same ``"faults"`` stream), modeling the cascade of a real domain
+failure instead of one synchronized instant.
 """
 
 from __future__ import annotations
@@ -39,6 +49,7 @@ __all__ = [
     "REPRO_FAULTS_ENV",
     "ambient_plan",
     "ambient_spec",
+    "parse_range",
 ]
 
 #: Environment variable carrying the ambient fault plan (``--faults``).
@@ -59,6 +70,11 @@ FAULT_KINDS = frozenset({
 
 _TARGET_CATEGORIES = ("link", "nic", "ssd", "target", "transfer")
 
+#: Hierarchical failure-domain categories: selectors name registered
+#: topology groups (see ``FaultInjector.register_domain``) instead of
+#: individual components, and expand to correlated link sets at arm time.
+_DOMAIN_CATEGORIES = ("host", "tor", "power")
+
 _FIELD_ALIASES = {
     "at": "at", "t": "at",
     "duration": "duration", "dur": "duration",
@@ -66,7 +82,16 @@ _FIELD_ALIASES = {
     "period": "period",
     "count": "count", "n": "count",
     "jitter": "jitter",
+    "stagger": "stagger",
 }
+
+
+def parse_range(selector: str) -> "tuple[int, int] | None":
+    """``"lo-hi"`` as an inclusive index pair, or None if not a range."""
+    lo, sep, hi = selector.partition("-")
+    if not sep or not lo.isdigit() or not hi.isdigit():
+        return None
+    return int(lo), int(hi)
 
 
 @dataclass(frozen=True)
@@ -81,6 +106,9 @@ class FaultSpec:
     period: float = 0.0
     count: int = 1
     jitter: float = 0.0
+    #: Mean per-component offset (seconds) when the target expands to
+    #: several components; 0 applies the whole set at one instant.
+    stagger: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -89,17 +117,33 @@ class FaultSpec:
                 f"expected one of {sorted(FAULT_KINDS)}"
             )
         category, sep, selector = self.target.partition(":")
-        if not sep or category not in _TARGET_CATEGORIES or not selector:
+        known = _TARGET_CATEGORIES + _DOMAIN_CATEGORIES
+        if not sep or category not in known or not selector:
             raise ValueError(
                 f"fault target must be 'category:selector' with category in "
-                f"{_TARGET_CATEGORIES}, got {self.target!r}"
+                f"{known}, got {self.target!r}"
             )
+        rng = parse_range(selector)
+        if rng is not None:
+            if category in _DOMAIN_CATEGORIES:
+                raise ValueError(
+                    f"range selectors index registration order and do not "
+                    f"apply to failure domains, got {self.target!r}"
+                )
+            lo, hi = rng
+            if lo > hi:
+                raise ValueError(
+                    f"bad range selector {selector!r} in {self.target!r}: "
+                    f"need lo <= hi"
+                )
         if self.at < 0:
             raise ValueError(f"at must be >= 0, got {self.at}")
         if self.duration < 0:
             raise ValueError(f"duration must be >= 0, got {self.duration}")
         if self.jitter < 0:
             raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+        if self.stagger < 0:
+            raise ValueError(f"stagger must be >= 0, got {self.stagger}")
         if self.count < 1:
             raise ValueError(f"count must be >= 1, got {self.count}")
         if self.count > 1 and self.period <= 0:
@@ -120,8 +164,13 @@ class FaultSpec:
 
     @property
     def selector(self) -> str:
-        """The target selector (index, name, or ``*``)."""
+        """The target selector (index, range, name, or ``*``)."""
         return self.target.partition(":")[2]
+
+    @property
+    def is_domain(self) -> bool:
+        """True when the target names a failure domain (host/tor/power)."""
+        return self.category in _DOMAIN_CATEGORIES
 
     @classmethod
     def parse(cls, clause: str) -> "FaultSpec":
@@ -172,16 +221,22 @@ class FaultPlan:
         return cls(tuple(FaultSpec.parse(c) for c in clauses))
 
     def canonical(self) -> str:
-        """Stable JSON form — the plan's result-cache identity component."""
-        return json.dumps(
-            [{
+        """Stable JSON form — the plan's result-cache identity component.
+
+        ``stagger`` only appears when set: a plan that never staggers
+        keys identically to its pre-domain-era spelling.
+        """
+        entries = []
+        for s in self.specs:
+            entry = {
                 "kind": s.kind, "target": s.target, "at": s.at,
                 "duration": s.duration, "magnitude": s.magnitude,
                 "period": s.period, "count": s.count, "jitter": s.jitter,
-            } for s in self.specs],
-            sort_keys=True,
-            separators=(",", ":"),
-        )
+            }
+            if s.stagger > 0.0:
+                entry["stagger"] = s.stagger
+            entries.append(entry)
+        return json.dumps(entries, sort_keys=True, separators=(",", ":"))
 
 
 def ambient_plan() -> "FaultPlan | None":

@@ -21,7 +21,10 @@ Layers (one module each):
 * :mod:`repro.service.scheduler` — pluggable placement policies
   (``fifo``, ``numa-aware``, ``numa-blind``);
 * :mod:`repro.service.broker` — admission control, bounded queueing,
-  the session API (list/inspect/cancel) and fault-driven rescheduling.
+  the session API (list/inspect/cancel), fault-driven rescheduling, and
+  crash-tolerant restart (journal replay, paced backlog drain);
+* :mod:`repro.service.journal` — the write-ahead job journal a crashed
+  broker replays to recover its control state exactly once.
 """
 
 from repro.service.broker import (
@@ -31,12 +34,15 @@ from repro.service.broker import (
     TransferBroker,
 )
 from repro.service.fleet import Rail, RailFleet
+from repro.service.journal import JobJournal, JournalSnapshot
 from repro.service.scheduler import POLICIES, pick_rail
 from repro.service.workload import WorkloadConfig, WorkloadGenerator
 
 __all__ = [
     "BrokerConfig",
+    "JobJournal",
     "JobState",
+    "JournalSnapshot",
     "POLICIES",
     "Rail",
     "RailFleet",

@@ -36,11 +36,31 @@ bandwidth credits immediately.
 listener; a dead rail's jobs are stopped, their remaining bytes
 requeued at the head of the queue, and rescheduled onto surviving
 rails (counted per job in ``reschedules``).
+
+**Crash tolerance**: the broker itself is a fault target
+(``crash@transfer:<name>``).  While down it refuses submissions
+(counted ``dropped``) and observes nothing; the data plane — running
+fluid flows — survives.  On restart a *journaled* broker replays its
+write-ahead :class:`~repro.service.journal.JobJournal`, reconciles
+against the surviving flows (late completions counted exactly once,
+banked bytes preserved), re-adopts still-running work without touching
+its connections, and drains the queued backlog through a
+reconnect-rate limiter so restart cannot trigger a CM storm.  An
+*amnesiac* broker (``journal=False``) loses the queue and orphans its
+running flows — the availability gap ``ext-availability`` measures.
+
+**Degraded mode** (all opt-in, defaults preserve byte-identity):
+heartbeat-based rail health (``heartbeat_s``/``suspicion`` replace the
+instant link-down hook with missed-beat detection), per-job retry
+budgets with jittered exponential backoff between reschedules, and
+priority-tiered brownout admission that sheds low-priority tenants
+first when alive rail capacity drops.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, Iterable, List, Optional, Tuple
@@ -50,6 +70,7 @@ import numpy as np
 from repro.faults.injector import faults_active
 from repro.faults.recovery import REQUEUE_EPSILON_BYTES as _EPSILON_BYTES
 from repro.service.fleet import Rail, RailFleet
+from repro.service.journal import JobJournal
 from repro.service.scheduler import POLICIES, pick_rail
 from repro.service.workload import WorkloadConfig, WorkloadGenerator
 from repro.sim.context import Context
@@ -67,6 +88,11 @@ class JobState(enum.Enum):
     COMPLETED = "completed"
     SHED = "shed"
     CANCELLED = "cancelled"
+    #: Retry budget exhausted: the job was rescheduled too many times.
+    FAILED = "failed"
+    #: Forgotten by an amnesiac broker restart (queued work vanished,
+    #: orphaned flows torn down, unobserved completions never accounted).
+    LOST = "lost"
 
 
 @dataclass(frozen=True)
@@ -80,6 +106,28 @@ class BrokerConfig:
     max_queue: int = 256
     #: Aggregate running nominal demand <= fraction x fleet rail rate.
     budget_fraction: float = 1.5
+    #: Keep a write-ahead job journal while a fault injector is armed
+    #: (pure bookkeeping on fault-free paths; see repro.service.journal).
+    journal: bool = True
+    #: Restart backlog drain rate (job starts/second) after a crash;
+    #: 0 dispatches the whole backlog at once (the CM-storm baseline).
+    recovery_rate: float = 64.0
+    #: Rail health heartbeat interval (seconds); 0 keeps the pre-PR
+    #: instant link-down detection.
+    heartbeat_s: float = 0.0
+    #: Consecutive missed heartbeats before a rail is declared dead.
+    suspicion: int = 3
+    #: Max reschedules per job before it fails; 0 = unlimited retries.
+    retry_budget: int = 0
+    #: First retry-requeue delay (doubles per reschedule, jittered from
+    #: the "service.retry" stream); 0 requeues immediately (pre-PR).
+    retry_backoff_base: float = 0.0
+    retry_backoff_cap: float = 2.0
+    #: Tenant priority tiers (tenant index mod tiers; tier 0 highest).
+    priority_tiers: int = 1
+    #: Brownout admission: when alive rail capacity drops, shed the
+    #: lowest tiers first (needs priority_tiers > 1 to do anything).
+    brownout: bool = False
 
     def __post_init__(self) -> None:
         if self.policy not in POLICIES:
@@ -88,6 +136,15 @@ class BrokerConfig:
         check_positive("tenant_quota", self.tenant_quota)
         check_positive("max_queue", self.max_queue)
         check_positive("budget_fraction", self.budget_fraction)
+        check_positive("suspicion", self.suspicion)
+        check_positive("priority_tiers", self.priority_tiers)
+        for name in ("recovery_rate", "heartbeat_s", "retry_budget",
+                     "retry_backoff_base"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0, got {getattr(self, name)}")
+        if self.retry_backoff_base > 0 and (
+                self.retry_backoff_cap < self.retry_backoff_base):
+            raise ValueError("retry_backoff_cap must be >= retry_backoff_base")
 
 
 class ServiceStats:
@@ -99,7 +156,9 @@ class ServiceStats:
     """
 
     __slots__ = ("submitted", "completed", "shed", "cancelled",
-                 "rescheduled", "remote_placements", "bytes_completed")
+                 "rescheduled", "remote_placements", "bytes_completed",
+                 "crashes", "replayed", "lost", "lost_bytes", "dropped",
+                 "failed", "browned_out")
 
     total_submitted = 0
     total_completed = 0
@@ -108,6 +167,13 @@ class ServiceStats:
     total_rescheduled = 0
     total_remote_placements = 0
     total_bytes_completed = 0.0
+    total_crashes = 0
+    total_replayed = 0
+    total_lost = 0
+    total_lost_bytes = 0.0
+    total_dropped = 0
+    total_failed = 0
+    total_browned_out = 0
 
     def __init__(self) -> None:
         self.submitted = 0
@@ -117,6 +183,13 @@ class ServiceStats:
         self.rescheduled = 0
         self.remote_placements = 0
         self.bytes_completed = 0.0
+        self.crashes = 0
+        self.replayed = 0
+        self.lost = 0
+        self.lost_bytes = 0.0
+        self.dropped = 0
+        self.failed = 0
+        self.browned_out = 0
 
     def count_submitted(self) -> None:
         self.submitted += 1
@@ -144,6 +217,32 @@ class ServiceStats:
         self.remote_placements += 1
         ServiceStats.total_remote_placements += 1
 
+    def count_crash(self) -> None:
+        self.crashes += 1
+        ServiceStats.total_crashes += 1
+
+    def count_replayed(self) -> None:
+        self.replayed += 1
+        ServiceStats.total_replayed += 1
+
+    def count_lost(self, nbytes: float) -> None:
+        self.lost += 1
+        self.lost_bytes += nbytes
+        ServiceStats.total_lost += 1
+        ServiceStats.total_lost_bytes += nbytes
+
+    def count_dropped(self) -> None:
+        self.dropped += 1
+        ServiceStats.total_dropped += 1
+
+    def count_failed(self) -> None:
+        self.failed += 1
+        ServiceStats.total_failed += 1
+
+    def count_browned_out(self) -> None:
+        self.browned_out += 1
+        ServiceStats.total_browned_out += 1
+
     @classmethod
     def process_totals(cls) -> dict:
         """The process-global counters as a plain dict."""
@@ -155,6 +254,13 @@ class ServiceStats:
             "rescheduled": cls.total_rescheduled,
             "remote_placements": cls.total_remote_placements,
             "bytes_completed": cls.total_bytes_completed,
+            "crashes": cls.total_crashes,
+            "replayed": cls.total_replayed,
+            "lost": cls.total_lost,
+            "lost_bytes": cls.total_lost_bytes,
+            "dropped": cls.total_dropped,
+            "failed": cls.total_failed,
+            "browned_out": cls.total_browned_out,
         }
 
     def as_dict(self) -> dict:
@@ -167,6 +273,13 @@ class ServiceStats:
             "rescheduled": self.rescheduled,
             "remote_placements": self.remote_placements,
             "bytes_completed": self.bytes_completed,
+            "crashes": self.crashes,
+            "replayed": self.replayed,
+            "lost": self.lost,
+            "lost_bytes": self.lost_bytes,
+            "dropped": self.dropped,
+            "failed": self.failed,
+            "browned_out": self.browned_out,
         }
 
 
@@ -230,8 +343,28 @@ class TransferBroker:
         # Fault integration is opt-in by plan: with no active injector
         # the broker registers nothing and the hooks below never run.
         inj = faults_active(ctx)
+        self._inj = inj
         if inj is not None:
             inj.add_transfer(name, self)
+        # Crash-tolerance state.  The journal only exists while an
+        # injector is armed: no injector means no crash fault can fire,
+        # and a fault-free run must not pay even the append cost.
+        self.journal = JobJournal() if config.journal and inj is not None else None
+        self._crashed = False
+        #: Flow completions observed while crashed: reconciled (journaled)
+        #: or forgotten (amnesiac) at restart.
+        self._pending_done: List[Tuple[_Job, FluidFlow]] = []
+        self._recovering = False
+        self._pacer_gen = 0
+        #: (time, bytes) per completion while an injector is armed — the
+        #: goodput timeline MTTR curves are cut from.
+        self._completion_log: List[Tuple[float, float]] = []
+        self._retry_rng = None
+        # Heartbeat-based rail health is opt-in; with it on, link-down
+        # hooks defer to the monitor (missed beats accumulate suspicion).
+        self._heartbeat_enabled = config.heartbeat_s > 0.0 and inj is not None
+        if self._heartbeat_enabled:
+            ctx.sim.process(self._heartbeat(), name=f"{name}/heartbeat")
 
     # -- ingress -----------------------------------------------------------
     def serve(self) -> None:
@@ -272,6 +405,11 @@ class TransferBroker:
                     batch: Optional[List[Tuple["_Job", FluidFlow]]],
                     ) -> Optional[int]:
         check_positive("size", size)
+        if self._crashed:
+            # A dead control plane accepts nothing: the client's request
+            # vanishes (no job record, no journal entry, no session id).
+            self.stats.count_dropped()
+            return None
         job = _Job(
             job_id=self._next_id, tenant=tenant, size=float(size),
             touch_node=touch_node, submitted_at=self.ctx.now,
@@ -282,17 +420,56 @@ class TransferBroker:
         row = self.tenants.setdefault(tenant, _tenant_row())
         row["submitted"] += 1
         self._jobs[job.job_id] = job
+        if self._browned_out(tenant):
+            # Brownout admission: capacity dropped, low tiers shed first.
+            job.state = JobState.SHED
+            job.finished_at = self.ctx.now
+            self.stats.count_shed()
+            self.stats.count_browned_out()
+            row["shed"] += 1
+            return None
         self._queue.append(job)
+        if self.journal is not None:
+            self.journal.log_submit(job.job_id)
         self._dispatch(batch)
         if job.state is JobState.QUEUED and len(self._queue) > self.config.max_queue:
             # Bounded queue: the newcomer is shed, not an older job.
             self._queue.remove(job)
             job.state = JobState.SHED
             job.finished_at = self.ctx.now
+            if self.journal is not None:
+                self.journal.log_terminal(job.job_id)
             self.stats.count_shed()
             row["shed"] += 1
             return None
         return job.job_id
+
+    def _tenant_tier(self, tenant: str) -> int:
+        """The tenant's priority tier (0 = highest): index mod tiers."""
+        # Workload tenants are "tenant<N>"; tier off the trailing digits,
+        # falling back to a deterministic byte sum for free-form names.
+        i = len(tenant)
+        while i > 0 and tenant[i - 1].isdigit():
+            i -= 1
+        index = int(tenant[i:]) if i < len(tenant) else sum(tenant.encode())
+        return index % self.config.priority_tiers
+
+    def _browned_out(self, tenant: str) -> bool:
+        """Brownout check: shed the lowest tiers while capacity is down.
+
+        With ``alive_fraction`` of rail capacity up, only the top
+        ``ceil(tiers x alive_fraction)`` tiers are admitted — a fleet at
+        half capacity with four tiers serves tiers 0-1 and sheds 2-3.
+        """
+        cfg = self.config
+        if not cfg.brownout or cfg.priority_tiers <= 1:
+            return False
+        total = self.fleet.total_rate
+        alive = sum(r.rate for r in self.fleet.rails if r.alive)
+        if alive >= total:
+            return False
+        admitted = max(1, math.ceil(cfg.priority_tiers * (alive / total)))
+        return self._tenant_tier(tenant) >= admitted
 
     # -- admission + dispatch ----------------------------------------------
     def _admissible(self, job: _Job) -> bool:
@@ -303,6 +480,7 @@ class TransferBroker:
 
     def _dispatch(
         self, batch: Optional[List[Tuple["_Job", FluidFlow]]] = None,
+        limit: Optional[int] = None, force: bool = False,
     ) -> None:
         """Start every queued job that admission and placement allow.
 
@@ -314,7 +492,13 @@ class TransferBroker:
         whole arrival burst.  Control-plane decisions are identical
         either way: placement reads rail loads, which ``_start``
         updates immediately.
+
+        While crashed nothing dispatches; while draining a restart
+        backlog only the pacer itself dispatches (``force``), with
+        *limit* bounding each paced pass to one connection setup.
         """
+        if self._crashed or (self._recovering and not force):
+            return
         if not self._queue:
             return
         local = batch is None and self.ctx.fluid.coalescing
@@ -345,6 +529,8 @@ class TransferBroker:
                 break  # no live rails: leave the queue intact
             self._start(job, rail, buffer_node, batch)
             started.append(job)
+            if limit is not None and len(started) >= limit:
+                break
         for job in started:
             self._queue.remove(job)
         if local and batch:
@@ -404,6 +590,8 @@ class TransferBroker:
         job.flow = flow
         if job.started_at is None:
             job.started_at = self.ctx.now
+        if self.journal is not None:
+            self.journal.log_start(job.job_id)
         rail.jobs[job] = None
         self._running_by_tenant[job.tenant] = (
             self._running_by_tenant.get(job.tenant, 0) + 1)
@@ -459,22 +647,36 @@ class TransferBroker:
         job.flow = None
 
     def _on_done(self, job: _Job, flow: FluidFlow) -> None:
+        if self._crashed:
+            # The data plane finished a transfer nobody was watching.
+            # Hold the observation; restart reconciles it (journaled)
+            # or forgets it ever happened (amnesiac).
+            self._pending_done.append((job, flow))
+            return
         # Cancel and reschedule paths stop the flow themselves (which
         # also fires this callback) after updating the job's state, so
         # anything but a RUNNING job on its current flow is stale here.
         if job.state is not JobState.RUNNING or job.flow is not flow:
             return
         job.banked += flow.transferred
+        self._complete(job)
+        self._dispatch()
+
+    def _complete(self, job: _Job, release: bool = True) -> None:
+        """Account one completion exactly once (live or replayed)."""
         job.state = JobState.COMPLETED
         job.finished_at = self.ctx.now
-        self._release(job)
-        latency = job.finished_at - job.submitted_at
-        self._latencies.append(latency)
+        if release:
+            self._release(job)
+        self._latencies.append(job.finished_at - job.submitted_at)
         self.stats.count_completed(job.size)
+        if self.journal is not None:
+            self.journal.log_terminal(job.job_id)
+        if self._inj is not None:
+            self._completion_log.append((self.ctx.now, job.size))
         row = self.tenants[job.tenant]
         row["completed"] += 1
         row["bytes"] += job.size
-        self._dispatch()
 
     # -- session API (the iscsi.global.sessions idiom) ---------------------
     def _session_row(self, job: _Job) -> Dict[str, Any]:
@@ -515,9 +717,14 @@ class TransferBroker:
         Returns True if the job was cancelled, False if it had already
         reached a terminal state.
         """
+        if self._crashed:
+            return False  # nobody is listening
         job = self._jobs[job_id]
         if job.state is JobState.QUEUED:
-            self._queue.remove(job)
+            try:
+                self._queue.remove(job)
+            except ValueError:
+                pass  # waiting out a retry backoff: queued but not enqueued
             job.state = JobState.CANCELLED
         elif job.state is JobState.RUNNING:
             job.state = JobState.CANCELLED
@@ -526,6 +733,8 @@ class TransferBroker:
         else:
             return False
         job.finished_at = self.ctx.now
+        if self.journal is not None:
+            self.journal.log_terminal(job.job_id)
         self.stats.count_cancelled()
         self.tenants[job.tenant]["cancelled"] += 1
         self._dispatch()
@@ -545,6 +754,7 @@ class TransferBroker:
                       if job.flow is not None and job.flow._active]
             if active:
                 self.ctx.fluid.finish_many(active)
+        budget = self.config.retry_budget
         for job in victims:
             job.banked += self._halt(job)
             self._release(job)
@@ -554,25 +764,68 @@ class TransferBroker:
             self.tenants[job.tenant]["rescheduled"] += 1
             if job.remaining <= _EPSILON_BYTES:
                 # it was done modulo float dust: count the completion
-                job.state = JobState.COMPLETED
+                self._complete(job, release=False)
+            elif budget > 0 and job.reschedules > budget:
+                # Retry budget exhausted: fail the job instead of letting
+                # it bounce between dying rails forever.
+                job.state = JobState.FAILED
                 job.finished_at = self.ctx.now
-                self._latencies.append(job.finished_at - job.submitted_at)
-                self.stats.count_completed(job.size)
-                done_row = self.tenants[job.tenant]
-                done_row["completed"] += 1
-                done_row["bytes"] += job.size
-        # Requeue in submit order ahead of newer arrivals.
-        for job in reversed(victims):
-            if job.state is JobState.QUEUED:
-                self._queue.appendleft(job)
+                self.stats.count_failed()
+                if self.journal is not None:
+                    self.journal.log_terminal(job.job_id)
+        base = self.config.retry_backoff_base
+        if base > 0.0:
+            # Jittered exponential backoff: each survivor rejoins the
+            # queue after base x 2^(reschedules-1) seconds (capped),
+            # jittered by a [0.5, 1.5) factor from the dedicated
+            # "service.retry" stream so synchronized victims do not
+            # reconnect in lockstep.  The journal records the requeue
+            # decision now (WAL: decision before effect).
+            rng = self._retry_stream()
+            for job in victims:
+                if job.state is not JobState.QUEUED:
+                    continue
+                if self.journal is not None:
+                    self.journal.log_requeue(job.job_id, job.banked)
+                delay = min(self.config.retry_backoff_cap,
+                            base * 2.0 ** (job.reschedules - 1))
+                delay *= 0.5 + rng.random()
+                self.ctx.sim.timeout(delay).add_callback(
+                    lambda _ev, job=job: self._requeue_after_backoff(job))
+        else:
+            # Requeue in submit order ahead of newer arrivals.
+            for job in reversed(victims):
+                if job.state is JobState.QUEUED:
+                    if self.journal is not None:
+                        self.journal.log_requeue(job.job_id, job.banked)
+                    self._queue.appendleft(job)
+
+    def _retry_stream(self):
+        """The lazily-created retry-jitter RNG (own stream: drawing it
+        never perturbs the "faults" or workload sequences)."""
+        if self._retry_rng is None:
+            self._retry_rng = self.ctx.rng.stream("service.retry")
+        return self._retry_rng
+
+    def _requeue_after_backoff(self, job: _Job) -> None:
+        if job.state is not JobState.QUEUED or job in self._queue:
+            return  # cancelled/failed meanwhile, or a restart restored it
+        self._queue.appendleft(job)
+        self._dispatch()
 
     def on_link_down(self, link, permanent: bool) -> None:
         """Injector hook: a rail's link went dark — reschedule its jobs."""
+        if self._heartbeat_enabled:
+            return  # the heartbeat monitor declares rail death, not the wire
         rail = self.fleet.rail_for_link(link)
         if rail is None or not rail.alive:
             return
         rail.alive = False
         self._path_cache.clear()  # topology changed: drop memoized routes
+        if self._crashed:
+            # No control plane to reschedule: the restart reconciles the
+            # dead rail's stranded jobs (journaled) or loses them.
+            return
         self._reschedule_rail(rail)
         self._dispatch()
 
@@ -582,8 +835,166 @@ class TransferBroker:
         if rail is None or rail.alive:
             return
         rail.alive = True
+        rail.suspect = 0
         self._path_cache.clear()  # topology changed: drop memoized routes
         self._dispatch()
+
+    def _heartbeat(self):
+        """Rail-health monitor: suspicion accumulates over missed beats.
+
+        Every ``heartbeat_s`` the monitor probes each schedulable rail;
+        a failed link misses its beat and gains a suspicion point, a
+        healthy probe clears them.  At ``suspicion`` consecutive misses
+        the rail is declared dead and its jobs reschedule — trading the
+        pre-PR instant detection for tolerance of blips shorter than
+        ``heartbeat_s x suspicion``.
+        """
+        cfg = self.config
+        while True:
+            yield self.ctx.sim.timeout(cfg.heartbeat_s)
+            if self._crashed:
+                continue  # a dead broker probes nothing
+            declared = False
+            for rail in self.fleet.rails:
+                if not rail.alive:
+                    continue
+                if rail.link.failed:
+                    rail.suspect += 1
+                    if rail.suspect >= cfg.suspicion:
+                        rail.alive = False
+                        rail.suspect = 0
+                        self._path_cache.clear()
+                        self._reschedule_rail(rail)
+                        declared = True
+                else:
+                    rail.suspect = 0
+            if declared:
+                self._dispatch()
+
+    def on_crash(self, restart_delay: float) -> None:
+        """Injector hook (``crash@transfer:<name>``): the broker dies.
+
+        The data plane survives — running fluid flows keep moving bytes
+        — but the control plane goes dark: submissions drop, completions
+        go unobserved, dead rails go unhandled.  After *restart_delay*
+        seconds the broker restarts and reconciles (see ``_restart``).
+        """
+        if self._crashed:
+            return
+        self._crashed = True
+        self.stats.count_crash()
+        self._pacer_gen += 1  # orphan any in-flight recovery pacer
+        self._recovering = False
+        self.ctx.trace.emit("service", "crash", broker=self.name,
+                            restart_delay=restart_delay)
+        self.ctx.sim.timeout(max(0.0, restart_delay)).add_callback(
+            lambda _ev: self._restart())
+
+    def _restart(self) -> None:
+        """Come back from a crash: reconcile (journaled) or forget."""
+        self._crashed = False
+        self.ctx.trace.emit(
+            "service", "restart", broker=self.name,
+            journaled=self.journal is not None,
+            pending=len(self._pending_done))
+        pending = self._pending_done
+        self._pending_done = []
+        self._path_cache.clear()
+        if self.journal is None:
+            self._restart_amnesiac(pending)
+        else:
+            self._restart_journaled(pending)
+
+    def _restart_amnesiac(self, pending: List[Tuple[_Job, FluidFlow]]) -> None:
+        """The baseline restart: no journal, so no memory of any job.
+
+        Queued work vanishes, running flows are orphaned connections the
+        fresh broker tears down, and completions that landed during the
+        outage (*pending*) were never written anywhere — their bytes
+        moved but are lost to the ledger.  Exactly the availability gap
+        ``ext-availability`` quantifies.
+        """
+        for job, flow in pending:
+            if job.state is not JobState.RUNNING or job.flow is not flow:
+                continue
+            job.banked += flow.transferred
+            job.state = JobState.LOST
+            job.finished_at = self.ctx.now
+            self._release(job)
+            self.stats.count_lost(job.banked)
+        for rail in self.fleet.rails:
+            for job in sorted(rail.jobs, key=lambda j: j.job_id):
+                job.banked += self._halt(job)
+                self._release(job)
+                job.state = JobState.LOST
+                job.finished_at = self.ctx.now
+                self.stats.count_lost(job.banked)
+        for job in list(self._queue):
+            job.state = JobState.LOST
+            job.finished_at = self.ctx.now
+            self.stats.count_lost(job.banked)
+        self._queue.clear()
+        self._dispatch()
+
+    def _restart_journaled(self, pending: List[Tuple[_Job, FluidFlow]]) -> None:
+        """Replay the journal and reconcile with the surviving data plane.
+
+        Completions that landed during the outage are accounted exactly
+        once (their latency honestly includes the outage); still-running
+        flows are re-adopted in place — no teardown, no CM storm; the
+        queued backlog is rebuilt with banked bytes intact and drained
+        through the ``recovery_rate`` pacer.
+        """
+        assert self.journal is not None
+        for job, flow in pending:
+            if job.state is not JobState.RUNNING or job.flow is not flow:
+                continue  # superseded while crashed (e.g. rail death raced)
+            job.banked += flow.transferred
+            self._complete(job)
+            self.stats.count_replayed()
+        snap = self.journal.replay()
+        # Rebuild the queue from the replayed snapshot.  Jobs the live
+        # queue still holds are re-adopted; the rebuild also restores
+        # banked bytes recorded in requeue entries (exactly-once: sizes
+        # and banked bytes come from the journal, not guesses).
+        self._queue.clear()
+        for job_id in snap.queued:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.QUEUED:
+                continue
+            banked = snap.banked.get(job_id)
+            if banked is not None and banked > job.banked:
+                job.banked = banked
+            job.remaining = job.size - job.banked
+            self._queue.append(job)
+            self.stats.count_replayed()
+        # Dead rails that still hold stranded jobs (their link died while
+        # the control plane was down) reschedule now.
+        for rail in self.fleet.rails:
+            if not rail.alive and rail.jobs:
+                self._reschedule_rail(rail)
+        if self.config.recovery_rate > 0.0 and self._queue:
+            # Reconnect-rate limiter: drain the backlog at recovery_rate
+            # connection setups per second instead of one thundering herd.
+            self._recovering = True
+            self._pacer_gen += 1
+            self.ctx.sim.process(
+                self._drain_backlog(self._pacer_gen),
+                name=f"{self.name}/recovery")
+        else:
+            self._dispatch()
+
+    def _drain_backlog(self, gen: int):
+        """The recovery pacer: one paced dispatch per ``1/recovery_rate`` s."""
+        gap = 1.0 / self.config.recovery_rate
+        while (gen == self._pacer_gen and not self._crashed
+               and self._queue):
+            self._dispatch(limit=1, force=True)
+            yield self.ctx.sim.timeout(gap)
+        if gen == self._pacer_gen:
+            self._recovering = False
+            if not self._crashed:
+                self._dispatch()
 
     # -- telemetry ---------------------------------------------------------
     @property
@@ -620,3 +1031,39 @@ class TransferBroker:
             "tenants": {t: dict(row) for t, row in sorted(self.tenants.items())},
         }
         return out
+
+    def audit(self) -> Dict[str, Any]:
+        """Exactly-once conservation check over every job ever admitted.
+
+        The availability experiment and CI smoke gate on this: after any
+        crash/restart sequence every submitted job must sit in exactly
+        one terminal-or-live state, completed counts must match
+        completed jobs one-for-one, and completed bytes must equal the
+        sum of completed sizes (no loss, no double counting).
+        """
+        by_state: Dict[str, int] = {s.value: 0 for s in JobState}
+        completed_bytes = 0.0
+        for job in self._jobs.values():
+            by_state[job.state.value] += 1
+            if job.state is JobState.COMPLETED:
+                completed_bytes += job.size
+        live = by_state["queued"] + by_state["running"]
+        terminal = (by_state["completed"] + by_state["shed"]
+                    + by_state["cancelled"] + by_state["failed"]
+                    + by_state["lost"])
+        s = self.stats
+        return {
+            "by_state": by_state,
+            "jobs_conserved": s.submitted == live + terminal,
+            "completions_exact": s.completed == by_state["completed"],
+            "bytes_exact": abs(s.bytes_completed - completed_bytes)
+            <= max(1e-6, 1e-9 * completed_bytes),
+            "unobserved": len(self._pending_done),
+            "journaled": self.journal is not None,
+            "journal_records": 0 if self.journal is None else len(self.journal),
+            "crashes": s.crashes,
+        }
+
+    def goodput_timeline(self) -> List[Tuple[float, float]]:
+        """(time, bytes) completion events (armed-injector runs only)."""
+        return list(self._completion_log)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass
 from typing import Dict, Optional
 
+from repro.faults.injector import faults_active
 from repro.rdma.qpool import QP_MODES, QpPoolConfig, QpPoolSet
 from repro.service.broker import BrokerConfig, TransferBroker
 from repro.service.fleet import Rail, RailFleet
@@ -86,8 +87,22 @@ class FabricSpec:
     thrash_floor: float = 0.35
     cm_rate: float = 64.0
     cm_base_ms: float = 2.0
+    #: Crash tolerance / degraded mode (forwarded into BrokerConfig;
+    #: defaults preserve byte-identity with pre-availability fabrics).
+    journal: bool = True
+    recovery_rate: float = 64.0
+    heartbeat_s: float = 0.0
+    suspicion: int = 3
+    retry_budget: int = 0
+    retry_backoff_base: float = 0.0
+    retry_backoff_cap: float = 2.0
+    priority_tiers: int = 1
+    brownout: bool = False
+    #: Pods per power domain: ``power:<d>`` cuts pods ``d*k .. d*k+k-1``.
+    pods_per_power: int = 4
 
     def __post_init__(self) -> None:
+        check_positive("pods_per_power", self.pods_per_power)
         check_positive("n_pods", self.n_pods)
         check_positive("hosts_per_pod", self.hosts_per_pod)
         check_positive("n_wan_links", self.n_wan_links)
@@ -190,6 +205,17 @@ def fleet_cell(*, ctx: Context, cell: int, ports: Dict[str, BoundaryPort],
     """Shard cell target: build and serve one pod; ledger at ``finish()``."""
     s = FabricSpec(**spec)
     fleet = RailFleet(ctx, n_hosts=s.hosts_per_pod, name_prefix=f"pod{cell}-")
+    # Fleet topology as failure domains: the pod's ToR is its rail set
+    # (`tor:<cell>`), and pods share power domains in blocks of
+    # `pods_per_power` (`power:<cell // pods_per_power>`).  Under
+    # sharding each cell registers only its own pod, so a tor:/power:
+    # cut lands on exactly the cells it covers — the same correlated
+    # link set the unsharded reference expands.
+    inj = faults_active(ctx)
+    if inj is not None:
+        pod_links = [r.link for r in fleet.rails]
+        inj.register_domain("tor", str(cell), pod_links)
+        inj.register_domain("power", str(cell // s.pods_per_power), pod_links)
     uplink = FluidResource(ctx.fluid, s.uplink_gbps * _GBPS,
                            f"pod{cell}/uplink")
     uplink.kind = "link"  # type: ignore[attr-defined]
@@ -213,7 +239,13 @@ def fleet_cell(*, ctx: Context, cell: int, ports: Dict[str, BoundaryPort],
         ctx, fleet,
         BrokerConfig(policy=s.policy, tenant_quota=s.tenant_quota,
                      max_queue=s.max_queue,
-                     budget_fraction=s.budget_fraction),
+                     budget_fraction=s.budget_fraction,
+                     journal=s.journal, recovery_rate=s.recovery_rate,
+                     heartbeat_s=s.heartbeat_s, suspicion=s.suspicion,
+                     retry_budget=s.retry_budget,
+                     retry_backoff_base=s.retry_backoff_base,
+                     retry_backoff_cap=s.retry_backoff_cap,
+                     priority_tiers=s.priority_tiers, brownout=s.brownout),
         workload, uplink=uplink, port=port, wan_tenants=s.wan_tenants,
         qpool=qpool, name=f"pod{cell}")
     elephants = []
@@ -244,6 +276,8 @@ def fleet_cell(*, ctx: Context, cell: int, ports: Dict[str, BoundaryPort],
             "elephant_bytes": [f.transferred for f in elephants],
             "latencies_s": broker.latencies,
             "qpool": None if qpool is None else qpool.as_dict(),
+            "audit": broker.audit(),
+            "goodput_timeline": broker.goodput_timeline(),
         }
         return ledger
 

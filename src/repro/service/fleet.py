@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.faults.injector import faults_active
 from repro.hw.nic import Nic
 from repro.hw.presets import frontend_lan_host
 from repro.hw.topology import Machine
@@ -49,6 +50,9 @@ class Rail:
     #: iterates deterministically).
     jobs: Dict[object, None] = field(default_factory=dict)
     alive: bool = True
+    #: Consecutive missed heartbeats (broker-maintained; only used when
+    #: heartbeat-based health monitoring is enabled).
+    suspect: int = 0
 
     @property
     def rate(self) -> float:
@@ -103,6 +107,15 @@ class RailFleet:
                     )
                     self.rails.append(rail)
                     self.rail_by_link[nic.link] = rail
+        # Each host is a failure domain: ``host:<machine>`` (and the bare
+        # index for single-fleet contexts) takes out all its rails at once.
+        inj = faults_active(ctx)
+        if inj is not None:
+            for h in range(n_hosts):
+                links = [r.link for r in self.rails if r.host == h]
+                inj.register_domain("host", f"{name_prefix}svc{h}", links)
+                if not name_prefix:
+                    inj.register_domain("host", str(h), links)
 
     @property
     def total_rate(self) -> float:

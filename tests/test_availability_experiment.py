@@ -1,0 +1,106 @@
+"""The ext-availability experiment: plan shape, the deterministic
+fault-plan generator, env overrides, and a small end-to-end leg."""
+
+import json
+
+import pytest
+
+from repro.core.experiments import ext_availability
+from repro.core.experiments.availability_legs import (availability_leg,
+                                                      fault_plan_for)
+from repro.faults.plan import FaultPlan
+
+
+def test_plan_shape():
+    tasks = ext_availability.plan(quick=True, seed=0)
+    # 1 size x 2 rates x 2 variants + the MTTR pair + determinism
+    assert len(tasks) == 7
+    labels = [t.label for t in tasks]
+    assert labels == [
+        "avail/journaled-x16-r0.5", "avail/amnesiac-x16-r0.5",
+        "avail/journaled-x16-r1", "avail/amnesiac-x16-r1",
+        "avail/mttr-journaled", "avail/mttr-amnesiac",
+        "avail/determinism",
+    ]
+    # journaled/amnesiac pairs share a seed: same workload, same faults
+    assert tasks[0].seed == tasks[1].seed
+    assert tasks[2].seed == tasks[3].seed
+    assert tasks[4].seed == tasks[5].seed
+
+
+def test_plan_identities_are_stable():
+    a = [t.identity() for t in ext_availability.plan(quick=True, seed=0)]
+    b = [t.identity() for t in ext_availability.plan(quick=True, seed=0)]
+    assert a == b
+    assert len(set(a)) == len(a)  # no colliding cache keys
+
+
+def test_fault_plan_for_is_deterministic_and_parses():
+    kw = dict(n_pods=8, fault_rate=0.5, serve_s=4.0, crash_at=2.0)
+    plan = fault_plan_for(**kw)
+    assert plan == fault_plan_for(**kw)
+    specs = FaultPlan.parse(plan).specs
+    tor = [s for s in specs if s.category == "tor"]
+    crash = [s for s in specs if s.kind == "crash"]
+    assert len(tor) == 4  # round(0.5 x 8) evenly-spaced pod cuts
+    assert len({s.selector for s in tor}) == 4  # distinct pods
+    assert all(s.stagger > 0 for s in tor)
+    assert len(crash) == 1 and crash[0].target == "transfer:*"
+    # rate 0 with no crash is the empty plan
+    assert fault_plan_for(n_pods=8, fault_rate=0.0, serve_s=4.0) == ""
+
+
+def test_env_overrides(monkeypatch):
+    monkeypatch.setenv("REPRO_AVAIL_HOSTS", "8")
+    monkeypatch.setenv("REPRO_AVAIL_RATE", "1.0")
+    assert ext_availability.avail_sizes(quick=True) == (8,)
+    assert ext_availability.fault_rates(quick=True) == (1.0,)
+    tasks = ext_availability.plan(quick=True, seed=0)
+    assert len(tasks) == 5  # 1x1x2 + mttr pair + determinism
+    monkeypatch.setenv("REPRO_AVAIL_HOSTS", "not-a-number")
+    with pytest.raises(ValueError, match="REPRO_AVAIL_HOSTS"):
+        ext_availability.avail_sizes(quick=True)
+    monkeypatch.setenv("REPRO_AVAIL_HOSTS", "-4")
+    with pytest.raises(ValueError, match="non-negative"):
+        ext_availability.avail_sizes(quick=True)
+
+
+def test_env_overrides_change_cache_identity(monkeypatch):
+    # The determinism anchor takes no sweep parameters, so it (alone)
+    # keeps its identity across overrides; every swept leg re-keys.
+    base = {t.identity() for t in ext_availability.plan(quick=True, seed=0)
+            if t.label != "avail/determinism"}
+    monkeypatch.setenv("REPRO_AVAIL_HOSTS", "8")
+    over = {t.identity() for t in ext_availability.plan(quick=True, seed=0)
+            if t.label != "avail/determinism"}
+    assert base.isdisjoint(over)
+
+
+def test_availability_leg_journal_beats_amnesia():
+    """One small curve point end-to-end: the crash makes the difference.
+
+    Same seed, same faults: the journaled broker must conserve jobs and
+    bytes exactly; the amnesiac baseline loses work to the restart.
+    """
+    kw = dict(seed=4, cal=None, hosts=8, fault_rate=0.5, serve_s=3.0,
+              horizon_s=5.0, crash_at=1.5)
+    journaled = availability_leg(journal=True, **kw)
+    amnesiac = availability_leg(journal=False, **kw)
+    assert journaled["submitted"] == amnesiac["submitted"]  # same stream
+    assert journaled["crashes"] >= 1 and amnesiac["crashes"] >= 1
+    assert journaled["lost"] == 0 and journaled["audit_ok"]
+    assert journaled["conserved"] and amnesiac["conserved"]
+    assert amnesiac["lost"] > 0 and amnesiac["lost_bytes"] > 0.0
+    assert journaled["availability"] >= amnesiac["availability"]
+    # The leg is deterministic: same kwargs, same scorecard.
+    again = availability_leg(journal=True, **kw)
+    assert json.dumps(journaled, sort_keys=True) == json.dumps(
+        again, sort_keys=True)
+
+
+def test_leg_restores_ambient_fault_env(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "link-down@link:0,at=5,duration=1")
+    availability_leg(seed=2, cal=None, hosts=8, fault_rate=0.0,
+                     journal=True, serve_s=2.0, horizon_s=3.0, crash_at=1.0)
+    import os
+    assert os.environ["REPRO_FAULTS"] == "link-down@link:0,at=5,duration=1"

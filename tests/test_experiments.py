@@ -50,7 +50,7 @@ def test_experiment_registry_complete():
     }
     assert set(E.ALL_EXTENSIONS) == {
         "wan-e2e", "sensitivity", "filesize-mix", "100g", "recovery",
-        "service", "fleet",
+        "service", "fleet", "availability",
     }
 
 

@@ -1,0 +1,68 @@
+"""Regression: process-global stats totals must not leak across tests.
+
+The autouse ``fresh_process_totals`` fixture (conftest.py) zeroes the
+class-level ``total_*`` attributes of :class:`ServiceStats` and
+:class:`FaultStats` before each test.  The two tests below would each
+poison the other without it — pytest runs them in file order, and both
+assert they start from a clean slate before dirtying it.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import FaultStats
+from repro.service.broker import ServiceStats
+
+
+def _dirty_both() -> None:
+    s = ServiceStats()
+    s.count_submitted()
+    s.count_completed(1024.0)
+    s.count_crash()
+    s.count_lost(512.0)
+    f = FaultStats()
+    f.count_injected()
+    f.count_domain()
+    f.count_retransmit(4096.0)
+
+
+def test_totals_start_clean_then_accumulate():
+    assert all(v == 0 for v in ServiceStats.process_totals().values())
+    assert all(v == 0 for v in FaultStats.process_totals().values())
+    _dirty_both()
+    assert ServiceStats.total_submitted == 1
+    assert ServiceStats.total_bytes_completed == 1024.0
+    assert ServiceStats.total_lost_bytes == 512.0
+    assert FaultStats.total_faults_injected == 1
+    assert FaultStats.total_domain_faults == 1
+
+
+def test_totals_do_not_leak_from_previous_test():
+    # If the fixture failed to reset, the previous test's counts would
+    # still be visible here.
+    assert all(v == 0 for v in ServiceStats.process_totals().values())
+    assert all(v == 0 for v in FaultStats.process_totals().values())
+    _dirty_both()
+    # Totals reflect exactly this test's activity, nothing inherited.
+    assert ServiceStats.total_submitted == 1
+    assert FaultStats.total_retransmitted_bytes == 4096.0
+
+
+def test_instance_counters_are_independent_of_reset():
+    s = ServiceStats()
+    s.count_submitted()
+    from tests.conftest import _reset_process_totals
+    _reset_process_totals(ServiceStats)
+    # The class total is gone; the instance counter survives.
+    assert ServiceStats.total_submitted == 0
+    assert s.submitted == 1
+
+
+def test_reset_preserves_counter_types():
+    _dirty_both()
+    from tests.conftest import _reset_process_totals
+    _reset_process_totals(ServiceStats)
+    _reset_process_totals(FaultStats)
+    assert isinstance(ServiceStats.total_bytes_completed, float)
+    assert isinstance(ServiceStats.total_submitted, int)
+    assert isinstance(FaultStats.total_recovery_seconds, float)
+    assert isinstance(FaultStats.total_reconnects, int)
